@@ -1,0 +1,32 @@
+//! # spanner-apsp
+//!
+//! Section 7 of the paper: **distance approximation in near-linear-memory
+//! MPC** (Corollary 1.4).
+//!
+//! The pipeline is exactly the paper's:
+//!
+//! 1. build a spanner with `k = ⌈log₂ n⌉` and `t = ⌈log₂ log₂ n⌉` — size
+//!    `O(n log log n)`, stretch `O(log^s n)` with
+//!    `s = log(2t+1)/log(t+1)`, in `O(t·log log n / log(t+1))` grow
+//!    iterations;
+//! 2. with `Õ(n)` memory per machine, ship the whole spanner to one
+//!    machine (a single gather round — the spanner fits);
+//! 3. that machine answers any shortest-path query on the spanner; the
+//!    spanner property turns them into `O(log^s n)`-approximate answers
+//!    for the original graph.
+//!
+//! [`ApspOracle`] is step 3 as a queryable object; [`build_oracle`] runs
+//! steps 1–2 with the sequential reference construction, and
+//! [`mpc_build_oracle`] runs them **in-model** (the spanner construction
+//! through `mpc_runtime` with measured rounds, then a real gather into
+//! machine 0 under the near-linear configuration). [`eval`] measures
+//! empirical approximation ratios against exact Dijkstra — the quantity
+//! experiment E6 reports against the `log^{1+o(1)} n` guarantee.
+
+pub mod eval;
+pub mod oracle;
+pub mod sketches;
+
+pub use eval::{measure_approximation, ApproxReport};
+pub use oracle::{build_oracle, mpc_build_oracle, ApspOracle, MpcApspRun};
+pub use sketches::{evaluate_sketches, DistanceSketches, SketchReport};

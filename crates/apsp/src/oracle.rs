@@ -1,0 +1,213 @@
+//! The approximate-APSP oracle of Section 7.
+
+use mpc_runtime::{comm, Dist, MpcConfig, MpcSystem};
+use spanner_graph::edge::{Distance, EdgeId};
+use spanner_graph::shortest_paths::dijkstra;
+use spanner_graph::Graph;
+
+use spanner_core::mpc_driver::mpc_general_spanner_with_config;
+use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+
+/// The Corollary 1.4 parameters for a graph on `n` vertices:
+/// `k = ⌈log₂ n⌉`, `t = ⌈log₂ log₂ n⌉`.
+pub fn apsp_params(n: usize) -> TradeoffParams {
+    let n = n.max(4) as f64;
+    let k = (n.log2().ceil() as u32).max(2);
+    let t = (n.log2().log2().ceil() as u32).max(1);
+    TradeoffParams::new(k, t)
+}
+
+/// A distance oracle backed by a spanner that has been collected onto a
+/// single machine (the paper's step 3). Queries run Dijkstra on the
+/// spanner, so every answer `d̂` satisfies
+/// `d_G(u,v) ≤ d̂ ≤ stretch_bound · d_G(u,v)`.
+#[derive(Debug, Clone)]
+pub struct ApspOracle {
+    /// The spanner as a standalone graph (same vertex set as the host).
+    spanner: Graph,
+    /// Edge ids of the spanner within the host graph.
+    pub spanner_edges: Vec<EdgeId>,
+    /// The stretch guarantee of the underlying construction.
+    pub stretch_bound: f64,
+    /// Grow iterations the construction used.
+    pub iterations: u32,
+}
+
+impl ApspOracle {
+    /// Assembles an oracle from a host graph and a spanner edge set
+    /// (used by the Congested Clique pipeline and by tests; the MPC
+    /// pipelines construct oracles via [`build_oracle`] /
+    /// [`mpc_build_oracle`]).
+    pub fn from_parts(
+        g: &Graph,
+        spanner_edges: Vec<EdgeId>,
+        stretch_bound: f64,
+        iterations: u32,
+    ) -> Self {
+        ApspOracle {
+            spanner: g.edge_subgraph(&spanner_edges),
+            spanner_edges,
+            stretch_bound,
+            iterations,
+        }
+    }
+
+    /// Approximate distance from `u` to `v`.
+    pub fn query(&self, u: u32, v: u32) -> Distance {
+        dijkstra(&self.spanner, u).dist[v as usize]
+    }
+
+    /// Approximate distances from `source` to every vertex (one Dijkstra
+    /// on the spanner).
+    pub fn distances_from(&self, source: u32) -> Vec<Distance> {
+        dijkstra(&self.spanner, source).dist
+    }
+
+    /// Full approximate APSP table (n Dijkstras on the spanner,
+    /// parallelised) — only sensible for moderate `n`.
+    pub fn all_pairs(&self) -> Vec<Vec<Distance>> {
+        spanner_graph::shortest_paths::apsp(&self.spanner)
+    }
+
+    /// Number of edges the oracle stores — the paper's `O(n log log n)`.
+    pub fn size(&self) -> usize {
+        self.spanner.m()
+    }
+
+    /// The spanner graph itself.
+    pub fn spanner(&self) -> &Graph {
+        &self.spanner
+    }
+}
+
+/// Builds the oracle with the sequential reference construction
+/// (steps 1–2 of Section 7, without the model simulation). This is what
+/// the large-scale approximation-quality experiments use.
+pub fn build_oracle(g: &Graph, seed: u64) -> ApspOracle {
+    let params = apsp_params(g.n());
+    let r = general_spanner(g, params, seed, BuildOptions::default());
+    ApspOracle {
+        spanner: g.edge_subgraph(&r.edges),
+        spanner_edges: r.edges,
+        stretch_bound: r.stretch_bound,
+        iterations: r.iterations,
+    }
+}
+
+/// Result of the in-model APSP preprocessing.
+#[derive(Debug)]
+pub struct MpcApspRun {
+    /// The queryable oracle (hosted, in the model, by machine 0).
+    pub oracle: ApspOracle,
+    /// Measured rounds for construction + collection.
+    pub metrics: mpc_runtime::Metrics,
+    /// The near-linear deployment used.
+    pub config: MpcConfig,
+    /// Rounds spent in the final gather (the "+1" of Section 7).
+    pub gather_rounds: u64,
+}
+
+/// Runs the full Corollary 1.4 pipeline **in-model**: spanner
+/// construction through the MPC simulator under a near-linear
+/// configuration, then a real gather of the spanner onto machine 0
+/// (whose `Õ(n)` memory must absorb it — enforced by the runtime).
+pub fn mpc_build_oracle(g: &Graph, seed: u64) -> mpc_runtime::Result<MpcApspRun> {
+    let params = apsp_params(g.n());
+    let input_words = 4 * g.m() + 2 * g.n() + 64;
+    let config = MpcConfig::near_linear(g.n(), input_words);
+    let run = mpc_general_spanner_with_config(g, params, config, seed)?;
+
+    // Step 2: collect the spanner on one machine, paying the rounds.
+    let mut sys = MpcSystem::new(config);
+    let ids: Vec<u64> = run.result.edges.iter().map(|&id| id as u64).collect();
+    let spanner_dist = Dist::distribute(&mut sys, ids)?;
+    let rounds_before = sys.rounds();
+    let collected = comm::gather_to_machine(&mut sys, spanner_dist, 0, "apsp.collect")?;
+    let gather_rounds = sys.rounds() - rounds_before;
+
+    let mut metrics = run.metrics.clone();
+    metrics.rounds += sys.rounds();
+    let edges: Vec<EdgeId> = collected.into_iter().map(|id| id as EdgeId).collect();
+    let oracle = ApspOracle {
+        spanner: g.edge_subgraph(&edges),
+        spanner_edges: edges,
+        stretch_bound: run.result.stretch_bound,
+        iterations: run.result.iterations,
+    };
+    Ok(MpcApspRun { oracle, metrics, config, gather_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::edge::INFINITY;
+    use spanner_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn params_scale_with_n() {
+        let p = apsp_params(1 << 16);
+        assert_eq!(p.k, 16); // log₂(65536)
+        assert_eq!(p.t, 4); // log₂ log₂(65536) = log₂ 16
+    }
+
+    #[test]
+    fn oracle_never_underestimates() {
+        let g = generators::connected_erdos_renyi(120, 0.08, WeightModel::Uniform(1, 16), 3);
+        let oracle = build_oracle(&g, 7);
+        let exact = dijkstra(&g, 0).dist;
+        let approx = oracle.distances_from(0);
+        for v in 0..g.n() {
+            if exact[v] != INFINITY {
+                assert!(approx[v] >= exact[v], "v={v}: {} < {}", approx[v], exact[v]);
+                assert!(approx[v] != INFINITY, "reachability must be preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_respects_stretch_bound() {
+        let g = generators::connected_erdos_renyi(150, 0.07, WeightModel::PowersOfTwo(6), 5);
+        let oracle = build_oracle(&g, 9);
+        let exact = dijkstra(&g, 3).dist;
+        let approx = oracle.distances_from(3);
+        for v in 0..g.n() {
+            if v != 3 && exact[v] != INFINITY && exact[v] > 0 {
+                let ratio = approx[v] as f64 / exact[v] as f64;
+                assert!(
+                    ratio <= oracle.stretch_bound + 1e-9,
+                    "v={v}: ratio {ratio} > bound {}",
+                    oracle.stretch_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_size_is_near_linear() {
+        let g = generators::connected_erdos_renyi(400, 0.2, WeightModel::Unit, 11);
+        let oracle = build_oracle(&g, 13);
+        // O(n log log n) with a generous constant; certainly o(m) here.
+        assert!(oracle.size() < g.m() / 2, "oracle {} vs m {}", oracle.size(), g.m());
+    }
+
+    #[test]
+    fn mpc_pipeline_reports_rounds_and_matches_reference() {
+        let g = generators::connected_erdos_renyi(80, 0.1, WeightModel::Uniform(1, 8), 17);
+        let run = mpc_build_oracle(&g, 21).unwrap();
+        assert!(run.metrics.rounds > 0);
+        assert!(run.gather_rounds >= 1);
+        let reference = build_oracle(&g, 21);
+        assert_eq!(
+            run.oracle.spanner_edges, reference.spanner_edges,
+            "in-model and reference pipelines must agree"
+        );
+    }
+
+    #[test]
+    fn query_is_symmetric_enough() {
+        // Undirected spanner ⇒ symmetric queries.
+        let g = generators::torus(8, 8, WeightModel::Uniform(1, 5), 1);
+        let oracle = build_oracle(&g, 3);
+        assert_eq!(oracle.query(0, 17), oracle.query(17, 0));
+    }
+}

@@ -1,0 +1,392 @@
+//! Thorup–Zwick-style **distance sketches** on top of spanners — the
+//! \[DN19] application the paper highlights in §1.2: spanners let MPC
+//! preprocess distance sketches without blowing up memory, because the
+//! preprocessing runs on the `Õ(n)`-edge spanner instead of the
+//! `m`-edge graph.
+//!
+//! The sketch is the classic Thorup–Zwick construction with `λ` levels:
+//! sample nested landmark sets `V = A₀ ⊇ A₁ ⊇ … ⊇ A_{λ−1}` (each level
+//! keeps a vertex with probability `n^{-1/λ}`); each vertex stores, per
+//! level, its nearest level-`i` landmark (`pᵢ(v)`, the *pivot*) and its
+//! *bunch* (level-`i` vertices strictly closer than `p_{i+1}(v)`).
+//! A query `(u, v)` walks the levels, returning
+//! `d(u, pᵢ(u)) + d(pᵢ(u), v)` for the first level whose pivot lands in
+//! the other endpoint's bunch — a `2λ−1`-approximation of the distance
+//! *of the preprocessed graph*.
+//!
+//! Built on a `σ`-stretch spanner, the end-to-end guarantee is
+//! `σ·(2λ−1)`; the preprocessing touches only `O(n^{1+1/k}·polylog)`
+//! edges. [`SketchReport`] quantifies the memory/accuracy trade against
+//! preprocessing on the full graph.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use spanner_graph::edge::{Distance, INFINITY};
+use spanner_graph::shortest_paths::dijkstra;
+use spanner_graph::Graph;
+
+/// A per-vertex Thorup–Zwick sketch.
+#[derive(Debug, Clone)]
+pub struct VertexSketch {
+    /// `pivots[i] = (pᵢ(v), d(v, pᵢ(v)))` — the nearest level-`i`
+    /// landmark (level 0 is `v` itself at distance 0).
+    pub pivots: Vec<(u32, Distance)>,
+    /// The bunch: landmark → exact distance (on the preprocessed graph).
+    pub bunch: HashMap<u32, Distance>,
+}
+
+/// Distance sketches for every vertex, supporting constant-time-ish
+/// approximate queries.
+#[derive(Debug)]
+pub struct DistanceSketches {
+    /// Number of levels `λ`.
+    pub levels: u32,
+    /// Per-vertex sketches.
+    pub sketches: Vec<VertexSketch>,
+    /// The multiplicative guarantee of the sketch itself (`2λ−1`),
+    /// *relative to the preprocessed graph*.
+    pub sketch_stretch: f64,
+    /// Stretch of the preprocessing substrate relative to the original
+    /// graph (1.0 when preprocessing ran on the graph itself).
+    pub substrate_stretch: f64,
+}
+
+impl DistanceSketches {
+    /// Builds `λ`-level sketches by preprocessing `g` directly.
+    ///
+    /// # Panics
+    /// Panics if `levels == 0`.
+    pub fn preprocess(g: &Graph, levels: u32, seed: u64) -> Self {
+        Self::preprocess_with_substrate(g, levels, seed, 1.0)
+    }
+
+    /// Builds sketches on a substrate graph (e.g. a spanner of the real
+    /// graph) whose stretch relative to the original is
+    /// `substrate_stretch`; queries then carry the combined guarantee.
+    pub fn preprocess_with_substrate(
+        g: &Graph,
+        levels: u32,
+        seed: u64,
+        substrate_stretch: f64,
+    ) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        let n = g.n();
+        let lam = levels as usize;
+
+        // Nested landmark sets A_0 ⊇ A_1 ⊇ … (A_0 = V).
+        let q = (n.max(2) as f64).powf(-1.0 / lam as f64);
+        let mut level_of: Vec<u32> = vec![0; n];
+        for v in 0..n {
+            let mut lvl = 0u32;
+            let mut h = spanner_core::coins::splitmix64(seed ^ 0x5e7c4 ^ v as u64);
+            while lvl + 1 < levels {
+                h = spanner_core::coins::splitmix64(h);
+                if ((h >> 11) as f64 / (1u64 << 53) as f64) < q {
+                    lvl += 1;
+                } else {
+                    break;
+                }
+            }
+            level_of[v] = lvl;
+        }
+        // Guarantee at least one top-level landmark so pivots always
+        // exist within each connected component's reach (fall back to
+        // vertex 0's component top landmark).
+        if n > 0 && !level_of.iter().any(|&l| l == levels - 1) {
+            level_of[0] = levels - 1;
+        }
+
+        // Per level i ≥ 1: multi-source Dijkstra from A_i gives every
+        // vertex its pivot p_i(v). (Implemented as Dijkstra on an
+        // augmented graph with a virtual source — here simply repeated
+        // relaxation from all sources, via a single Dijkstra per level
+        // on a super-source.) For the verification sizes used here we
+        // run one Dijkstra per landmark and take minima — simple and
+        // exact, parallelised.
+        let mut pivots: Vec<Vec<(u32, Distance)>> =
+            vec![vec![(u32::MAX, INFINITY); lam]; n];
+        for v in 0..n {
+            pivots[v][0] = (v as u32, 0);
+        }
+        for i in 1..lam {
+            let landmarks: Vec<u32> = (0..n as u32)
+                .filter(|&v| level_of[v as usize] >= i as u32)
+                .collect();
+            let rows: Vec<(u32, Vec<Distance>)> = landmarks
+                .par_iter()
+                .map(|&a| (a, dijkstra(g, a).dist))
+                .collect();
+            for v in 0..n {
+                let mut best = (u32::MAX, INFINITY);
+                for (a, dist) in &rows {
+                    let d = dist[v];
+                    if (d, *a) < (best.1, best.0) {
+                        best = (*a, d);
+                    }
+                }
+                pivots[v][i] = best;
+            }
+        }
+
+        // Bunches: B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(v,w) < d(v, p_{i+1}(v)) }.
+        // Computed from the landmark rows (exact distances).
+        let mut all_rows: HashMap<u32, Vec<Distance>> = HashMap::new();
+        for i in 1..lam {
+            for v in 0..n as u32 {
+                let p = pivots[v as usize][i].0;
+                if p != u32::MAX {
+                    all_rows.entry(p).or_insert_with(|| dijkstra(g, p).dist);
+                }
+            }
+        }
+        // Distances from every landmark of every level (level-0 bunches
+        // use per-vertex truncated exploration; to stay exact we include
+        // a vertex w in B(v) by checking d(v,w) via w's row when w is a
+        // landmark, and via v's own Dijkstra for level-0 w's — for the
+        // library this is the straightforward exact construction).
+        let vertex_rows: Vec<Vec<Distance>> = (0..n as u32)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&v| dijkstra(g, v).dist)
+            .collect();
+
+        let sketches: Vec<VertexSketch> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let mut bunch = HashMap::new();
+                for w in 0..n {
+                    let i = level_of[w] as usize;
+                    let d = vertex_rows[v][w];
+                    if d == INFINITY {
+                        continue;
+                    }
+                    // w ∈ A_i \ A_{i+1}: include iff strictly closer
+                    // than the next-level pivot (or no next level).
+                    let nxt = if i + 1 < lam { pivots[v][i + 1].1 } else { INFINITY };
+                    if d < nxt {
+                        bunch.insert(w as u32, d);
+                    }
+                }
+                VertexSketch { pivots: pivots[v].clone(), bunch }
+            })
+            .collect();
+
+        DistanceSketches {
+            levels,
+            sketches,
+            sketch_stretch: (2 * levels - 1) as f64,
+            substrate_stretch,
+        }
+    }
+
+    /// The combined end-to-end guarantee relative to the original graph.
+    pub fn stretch_bound(&self) -> f64 {
+        self.sketch_stretch * self.substrate_stretch
+    }
+
+    /// Approximate distance query — the Thorup–Zwick level walk.
+    /// Returns [`INFINITY`] when `u` and `v` are in different
+    /// components.
+    pub fn query(&self, u: u32, v: u32) -> Distance {
+        if u == v {
+            return 0;
+        }
+        let (mut a, mut b) = (u, v);
+        let mut w = a; // current pivot, starts as u itself (level 0)
+        let mut d_aw: Distance = 0;
+        for i in 0..self.levels as usize {
+            if let Some(&d_bw) = self.sketches[b as usize].bunch.get(&w) {
+                return d_aw.saturating_add(d_bw);
+            }
+            let next = i + 1;
+            if next >= self.levels as usize {
+                break;
+            }
+            // Swap roles and climb a level.
+            std::mem::swap(&mut a, &mut b);
+            let (p, d) = self.sketches[a as usize].pivots[next];
+            if p == u32::MAX || d == INFINITY {
+                break;
+            }
+            w = p;
+            d_aw = d;
+        }
+        INFINITY
+    }
+
+    /// Total sketch entries (the memory the sketches occupy) — the
+    /// quantity \[DN19]'s spanner preprocessing keeps near-linear.
+    pub fn total_entries(&self) -> usize {
+        self.sketches
+            .iter()
+            .map(|s| s.bunch.len() + s.pivots.len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum()
+    }
+}
+
+/// Comparison of sketch preprocessing on the full graph vs on a spanner
+/// (the §1.2 / \[DN19] trade: preprocessing memory vs query accuracy).
+#[derive(Debug, Clone)]
+pub struct SketchReport {
+    /// Edges the preprocessing touched.
+    pub preprocessing_edges: usize,
+    /// Total sketch entries stored.
+    pub sketch_entries: usize,
+    /// Measured max query ratio vs exact distances (sampled).
+    pub max_ratio: f64,
+    /// Mean query ratio.
+    pub avg_ratio: f64,
+    /// The end-to-end guarantee.
+    pub guarantee: f64,
+}
+
+/// Builds sketches on `substrate` (a subgraph of `g` with the given
+/// stretch) and measures query quality against exact distances on `g`,
+/// over `sources` random sources.
+pub fn evaluate_sketches(
+    g: &Graph,
+    substrate: &Graph,
+    substrate_stretch: f64,
+    levels: u32,
+    sources: usize,
+    seed: u64,
+) -> SketchReport {
+    let sk = DistanceSketches::preprocess_with_substrate(
+        substrate,
+        levels,
+        seed,
+        substrate_stretch,
+    );
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let n = g.n() as u32;
+    let mut max_ratio: f64 = 1.0;
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for _ in 0..sources.min(n as usize) {
+        let s = rng.gen_range(0..n);
+        let exact = dijkstra(g, s).dist;
+        for v in 0..n {
+            if v != s && exact[v as usize] != INFINITY && exact[v as usize] > 0 {
+                let est = sk.query(s, v);
+                if est == INFINITY {
+                    continue; // level walk exhausted; rare, skipped in stats
+                }
+                let r = est as f64 / exact[v as usize] as f64;
+                max_ratio = max_ratio.max(r);
+                sum += r;
+                cnt += 1;
+            }
+        }
+    }
+    SketchReport {
+        preprocessing_edges: substrate.m(),
+        sketch_entries: sk.total_entries(),
+        max_ratio,
+        avg_ratio: if cnt == 0 { 1.0 } else { sum / cnt as f64 },
+        guarantee: sk.stretch_bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{self, WeightModel};
+
+    fn graph() -> Graph {
+        generators::connected_erdos_renyi(100, 0.08, WeightModel::Uniform(1, 16), 3)
+    }
+
+    #[test]
+    fn single_level_is_exact_everywhere() {
+        // λ = 1: every vertex's bunch is the whole component (no next
+        // pivot to cut it off) ⇒ queries are exact.
+        let g = graph();
+        let sk = DistanceSketches::preprocess(&g, 1, 5);
+        let exact = dijkstra(&g, 0).dist;
+        for v in 0..g.n() as u32 {
+            assert_eq!(sk.query(0, v), exact[v as usize], "v={v}");
+        }
+    }
+
+    #[test]
+    fn queries_respect_2k_minus_1() {
+        let g = graph();
+        for levels in [2u32, 3] {
+            let sk = DistanceSketches::preprocess(&g, levels, 7);
+            let bound = (2 * levels - 1) as f64;
+            for s in [0u32, 17, 55] {
+                let exact = dijkstra(&g, s).dist;
+                for v in 0..g.n() as u32 {
+                    if v == s || exact[v as usize] == INFINITY {
+                        continue;
+                    }
+                    let est = sk.query(s, v);
+                    assert!(est != INFINITY, "query must succeed within a component");
+                    assert!(est >= exact[v as usize], "never underestimate");
+                    assert!(
+                        est as f64 <= bound * exact[v as usize] as f64 + 1e-9,
+                        "λ={levels}, ({s},{v}): {est} > {bound}·{}",
+                        exact[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_is_symmetric_in_guarantee() {
+        let g = graph();
+        let sk = DistanceSketches::preprocess(&g, 2, 9);
+        // TZ queries need not be symmetric, but both directions obey the
+        // bound; spot-check both directions return finite values.
+        assert!(sk.query(3, 60) != INFINITY);
+        assert!(sk.query(60, 3) != INFINITY);
+    }
+
+    #[test]
+    fn more_levels_means_smaller_bunches() {
+        let g = generators::connected_erdos_renyi(150, 0.1, WeightModel::Unit, 11);
+        let s1 = DistanceSketches::preprocess(&g, 1, 3).total_entries();
+        let s3 = DistanceSketches::preprocess(&g, 3, 3).total_entries();
+        assert!(
+            s3 < s1,
+            "λ=3 bunches ({s3}) must be smaller than λ=1 full tables ({s1})"
+        );
+    }
+
+    #[test]
+    fn spanner_substrate_composes_guarantees() {
+        use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+        let g = graph();
+        let sp = general_spanner(&g, TradeoffParams::new(4, 2), 3, BuildOptions::default());
+        let sub = g.edge_subgraph(&sp.edges);
+        let rep = evaluate_sketches(&g, &sub, sp.stretch_bound, 2, 10, 5);
+        assert!(rep.preprocessing_edges < g.m());
+        assert!(rep.avg_ratio >= 1.0 - 1e-9);
+        assert!(
+            rep.max_ratio <= rep.guarantee + 1e-9,
+            "measured {} vs composed guarantee {}",
+            rep.max_ratio,
+            rep.guarantee
+        );
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinity() {
+        let g = Graph::from_edges(
+            4,
+            vec![
+                spanner_graph::edge::Edge::new(0, 1, 1),
+                spanner_graph::edge::Edge::new(2, 3, 1),
+            ],
+        );
+        let sk = DistanceSketches::preprocess(&g, 2, 1);
+        assert_eq!(sk.query(0, 1), 1);
+        assert_eq!(sk.query(0, 2), INFINITY);
+    }
+}

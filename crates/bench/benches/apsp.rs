@@ -1,0 +1,38 @@
+//! Criterion timing of the APSP application (experiment E6's wall-clock
+//! side): oracle construction, queries, and the verification Dijkstra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_apsp::build_oracle;
+use spanner_graph::generators::{Family, WeightModel};
+use spanner_graph::shortest_paths::dijkstra;
+
+fn bench_oracle_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_oracle_build");
+    for n in [512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let g = Family::ErdosRenyi { n, avg_deg: 12.0 }
+                .generate(WeightModel::PowersOfTwo(8), 0xA0);
+            b.iter(|| build_oracle(&g, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
+        .generate(WeightModel::PowersOfTwo(8), 0xA0);
+    let oracle = build_oracle(&g, 1);
+    c.bench_function("apsp_oracle_sssp_query", |b| {
+        b.iter(|| oracle.distances_from(7))
+    });
+    c.bench_function("apsp_exact_dijkstra_baseline", |b| {
+        b.iter(|| dijkstra(&g, 7))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_oracle_build, bench_query
+);
+criterion_main!(benches);

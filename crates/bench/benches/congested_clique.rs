@@ -1,0 +1,33 @@
+//! Criterion timing of the Congested Clique pipelines (experiment E7's
+//! wall-clock side).
+
+use congested_clique::{cc_apsp, cc_spanner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_core::TradeoffParams;
+use spanner_graph::generators::{Family, WeightModel};
+
+fn bench_cc_spanner(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 512, avg_deg: 10.0 }
+        .generate(WeightModel::Uniform(1, 32), 0xCC);
+    let params = TradeoffParams::new(8, 2);
+    let mut group = c.benchmark_group("cc_spanner");
+    for reps in [1usize, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, &r| {
+            b.iter(|| cc_spanner(&g, params, 1, r))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc_apsp(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 256, avg_deg: 10.0 }
+        .generate(WeightModel::Uniform(1, 16), 0xCD);
+    c.bench_function("cc_apsp_n256", |b| b.iter(|| cc_apsp(&g, 1, Some(4))));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cc_spanner, bench_cc_apsp
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion timing of the MPC runtime primitives (experiment E9's
+//! wall-clock side) and of the full distributed driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_runtime::{primitives, Dist, MpcConfig, MpcSystem};
+use spanner_core::mpc_driver::mpc_general_spanner_with_config;
+use spanner_core::TradeoffParams;
+use spanner_graph::generators::{Family, WeightModel};
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_sort");
+    for records in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, &m| {
+            let cfg = MpcConfig::explicit(4096, m.div_ceil(4096) * 2, 8);
+            let data: Vec<u64> = (0..m as u64).map(primitives::splitmix64).collect();
+            b.iter(|| {
+                let mut sys = MpcSystem::new(cfg);
+                let d = Dist::distribute(&mut sys, data.clone()).unwrap();
+                primitives::sort_by_key(&mut sys, d, "sort", |&x| x).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let m = 50_000usize;
+    let cfg = MpcConfig::explicit(4096, m.div_ceil(4096) * 2, 8);
+    let data: Vec<(u64, u64)> = (0..m as u64).map(|i| (i % 997, i)).collect();
+    c.bench_function("mpc_aggregate_min_50k", |b| {
+        b.iter(|| {
+            let mut sys = MpcSystem::new(cfg);
+            let d = Dist::distribute(&mut sys, data.clone()).unwrap();
+            primitives::aggregate_by_key(&mut sys, d, "agg", |r| r.0, |r| r.1, |a, b| {
+                *a.min(b)
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 1024, avg_deg: 8.0 }
+        .generate(WeightModel::Uniform(1, 32), 0xB3);
+    let input_words = 4 * g.m() + 2 * g.n() + 64;
+    let cfg = MpcConfig::explicit(2048, input_words.div_ceil(2048).max(2), 8);
+    c.bench_function("mpc_driver_k8_t3_n1024", |b| {
+        b.iter(|| mpc_general_spanner_with_config(&g, TradeoffParams::new(8, 3), cfg, 1).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sort, bench_aggregate, bench_driver
+);
+criterion_main!(benches);

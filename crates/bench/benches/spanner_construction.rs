@@ -1,0 +1,60 @@
+//! Criterion timing of the spanner constructions (the wall-clock side of
+//! experiments E2/E3/E4/E5/E8; the model-cost side lives in the
+//! experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_core::baswana_sen::baswana_sen;
+use spanner_core::cluster_merging::cluster_merging_spanner;
+use spanner_core::sqrt_k::sqrt_k_spanner;
+use spanner_core::unweighted_ok::{unweighted_ok_spanner, UnweightedOkConfig};
+use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+use spanner_graph::generators::{Family, WeightModel};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
+        .generate(WeightModel::PowersOfTwo(8), 0xB0);
+    let k = 16u32;
+
+    let mut group = c.benchmark_group("spanner_construction");
+    group.bench_function(BenchmarkId::new("baswana_sen", k), |b| {
+        b.iter(|| baswana_sen(&g, k, 1))
+    });
+    group.bench_function(BenchmarkId::new("cluster_merging", k), |b| {
+        b.iter(|| cluster_merging_spanner(&g, k, 1))
+    });
+    group.bench_function(BenchmarkId::new("sqrt_k", k), |b| {
+        b.iter(|| sqrt_k_spanner(&g, k, 1))
+    });
+    group.bench_function(BenchmarkId::new("general_log_k", k), |b| {
+        b.iter(|| general_spanner(&g, TradeoffParams::log_k(k), 1, BuildOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
+        .generate(WeightModel::Uniform(1, 64), 0xB1);
+    let mut group = c.benchmark_group("general_spanner_k");
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| general_spanner(&g, TradeoffParams::log_k(k), 1, BuildOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unweighted_ok(c: &mut Criterion) {
+    let g = Family::ErdosRenyi { n: 1024, avg_deg: 10.0 }
+        .generate(WeightModel::Unit, 0xB2)
+        .unweighted_copy();
+    c.bench_function("unweighted_ok_k3", |b| {
+        b.iter(|| unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 1))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms, bench_k_scaling, bench_unweighted_ok
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **E11 — extension (§1.2 / \[DN19])**: distance sketches preprocessed
+//! on a spanner instead of the full graph.
+//!
+//! The paper motivates spanners as the tool that lets MPC preprocess
+//! distance sketches without extra memory: the preprocessing touches
+//! `Õ(n)` spanner edges instead of `m`. This experiment builds
+//! Thorup–Zwick sketches (λ levels, `2λ−1` stretch) on (a) the graph
+//! and (b) a Section 5 spanner, and measures preprocessing size vs
+//! query accuracy.
+
+use spanner_apsp::evaluate_sketches;
+use spanner_bench::table::{f2, Table};
+use spanner_bench::workloads;
+use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+
+fn main() {
+    println!("# E11 — distance sketches on spanners (the [DN19] application)\n");
+    let g = workloads::default_er(768);
+    println!("workload er(n={}, m={}), weighted\n", g.n(), g.m());
+
+    let mut t = Table::new(&[
+        "substrate",
+        "lambda",
+        "preproc edges",
+        "sketch entries",
+        "avg ratio",
+        "max ratio",
+        "guarantee",
+    ]);
+    for lambda in [2u32, 3] {
+        // (a) preprocess on the full graph.
+        let full = evaluate_sketches(&g, &g, 1.0, lambda, 12, 0xE11);
+        t.row(vec![
+            "full graph".into(),
+            lambda.to_string(),
+            full.preprocessing_edges.to_string(),
+            full.sketch_entries.to_string(),
+            f2(full.avg_ratio),
+            f2(full.max_ratio),
+            f2(full.guarantee),
+        ]);
+        // (b) preprocess on a k=4 spanner.
+        let sp = general_spanner(&g, TradeoffParams::new(4, 2), 0xE11, BuildOptions::default());
+        let sub = g.edge_subgraph(&sp.edges);
+        let rep = evaluate_sketches(&g, &sub, sp.stretch_bound, lambda, 12, 0xE11);
+        t.row(vec![
+            format!("spanner k=4 ({} edges)", sp.size()),
+            lambda.to_string(),
+            rep.preprocessing_edges.to_string(),
+            rep.sketch_entries.to_string(),
+            f2(rep.avg_ratio),
+            f2(rep.max_ratio),
+            f2(rep.guarantee),
+        ]);
+    }
+    t.print();
+    println!("\n(spanner substrate: fewer preprocessing edges, composed guarantee σ·(2λ−1))");
+}

@@ -1,0 +1,50 @@
+//! **E6 — Corollary 1.4**: approximate APSP in near-linear-memory MPC.
+//!
+//! Runs the full Section 7 pipeline *in-model* (construction through the
+//! simulator + the gather-to-one-machine round) and measures the
+//! empirical approximation ratio against exact Dijkstra, next to the
+//! `O(log^s n)` guarantee.
+
+use spanner_apsp::{measure_approximation, mpc_build_oracle};
+use spanner_bench::table::{f2, Table};
+use spanner_graph::generators::{Family, WeightModel};
+
+fn main() {
+    println!("# E6 — Corollary 1.4 (MPC APSP, near-linear regime)\n");
+    let mut t = Table::new(&[
+        "n",
+        "m",
+        "k",
+        "t",
+        "mpc rounds",
+        "gather rounds",
+        "oracle edges",
+        "edges/(n·loglog n)",
+        "approx avg",
+        "approx max",
+        "guarantee",
+    ]);
+    for n in [256usize, 512, 1024] {
+        let g = Family::ErdosRenyi { n, avg_deg: 12.0 }
+            .generate(WeightModel::PowersOfTwo(8), 0xE6);
+        let params = spanner_apsp::oracle::apsp_params(n);
+        let run = mpc_build_oracle(&g, 0x6E).expect("in-model APSP");
+        let rep = measure_approximation(&g, &run.oracle, 24, 6);
+        let loglog = (n as f64).log2().log2();
+        t.row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            params.k.to_string(),
+            params.t.to_string(),
+            run.metrics.rounds.to_string(),
+            run.gather_rounds.to_string(),
+            run.oracle.size().to_string(),
+            f2(run.oracle.size() as f64 / (n as f64 * loglog)),
+            f2(rep.avg_ratio),
+            f2(rep.max_ratio),
+            f2(rep.guarantee),
+        ]);
+    }
+    t.print();
+    println!("\n(guarantee = 2·k^s with k = ceil(log2 n), s = log(2t+1)/log(t+1))");
+}

@@ -1,0 +1,85 @@
+//! **E7 — Theorem 8.1 + Corollary 1.5**: spanners and APSP in the
+//! Congested Clique. Measures clique rounds for construction and
+//! spanner dissemination, the w.h.p. size with the parallel-repetition
+//! trick, and the APSP approximation ratio.
+
+use congested_clique::{cc_apsp, cc_spanner};
+use spanner_bench::table::{f2, Table};
+use spanner_bench::{measure, size_baseline};
+use spanner_graph::edge::INFINITY;
+use spanner_graph::generators::{Family, WeightModel};
+use spanner_graph::shortest_paths::dijkstra;
+use spanner_core::TradeoffParams;
+
+fn main() {
+    println!("# E7 — Section 8 (Congested Clique)\n");
+
+    println!("## Theorem 8.1: spanner construction rounds (k=8, t=2)\n");
+    let mut t = Table::new(&[
+        "n",
+        "m",
+        "R (reps)",
+        "cc rounds",
+        "stretch",
+        "bound",
+        "size",
+        "size/n^(1+1/k)",
+        "valid",
+    ]);
+    let params = TradeoffParams::new(8, 2);
+    for n in [256usize, 512, 1024] {
+        let g = Family::ErdosRenyi { n, avg_deg: 10.0 }
+            .generate(WeightModel::Uniform(1, 64), 0xE7);
+        for reps in [1usize, ((n as f64).log2().ceil() as usize).min(32)] {
+            let run = cc_spanner(&g, params, 0x7E, reps);
+            let m = measure(&g, &run.result.edges, 16, 7);
+            t.row(vec![
+                n.to_string(),
+                g.m().to_string(),
+                reps.to_string(),
+                run.rounds.to_string(),
+                f2(m.stretch),
+                f2(run.result.stretch_bound),
+                m.size.to_string(),
+                f2(m.size as f64 / size_baseline(n, params.k)),
+                m.valid.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\n## Corollary 1.5: APSP (k = log n, t = log log n)\n");
+    let mut t2 = Table::new(&[
+        "n",
+        "spanner rounds",
+        "dissemination rounds",
+        "total rounds",
+        "approx max",
+        "guarantee",
+    ]);
+    for n in [256usize, 512] {
+        let g = Family::ErdosRenyi { n, avg_deg: 10.0 }
+            .generate(WeightModel::PowersOfTwo(6), 0x7E7);
+        let run = cc_apsp(&g, 0x57, None);
+        // Measure ratios over a handful of rows.
+        let mut max_ratio = 1.0f64;
+        for s in [0u32, 7, 63] {
+            let exact = dijkstra(&g, s).dist;
+            let approx = run.row(s);
+            for v in 0..g.n() {
+                if v as u32 != s && exact[v] != INFINITY && exact[v] > 0 {
+                    max_ratio = max_ratio.max(approx[v] as f64 / exact[v] as f64);
+                }
+            }
+        }
+        t2.row(vec![
+            n.to_string(),
+            run.spanner_run.rounds.to_string(),
+            run.dissemination_rounds.to_string(),
+            run.total_rounds.to_string(),
+            f2(max_ratio),
+            f2(run.stretch_bound),
+        ]);
+    }
+    t2.print();
+}

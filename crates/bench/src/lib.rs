@@ -1,0 +1,72 @@
+//! # spanner-bench
+//!
+//! Experiment harness for the reproduction. Every theorem/corollary of
+//! the paper has an experiment id (see `DESIGN.md` §4); each id has a
+//! table-printing binary in `src/bin/` (run with
+//! `cargo run --release -p spanner-bench --bin <id>`), and the hot code
+//! paths additionally have Criterion timing benches in `benches/`.
+//!
+//! The library half is the shared harness: canonical workload sets,
+//! measurement plumbing, and a fixed-width table printer whose output
+//! is pasted into `EXPERIMENTS.md`.
+
+pub mod table;
+pub mod workloads;
+
+use spanner_graph::verify::{sampled_pairwise_stretch, verify_spanner};
+use spanner_graph::Graph;
+
+/// Everything a table row needs about one constructed spanner.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Spanner edges.
+    pub size: usize,
+    /// Exact max per-edge certificate stretch (`d_H/w` over host edges).
+    pub stretch: f64,
+    /// Mean per-edge stretch.
+    pub avg_stretch: f64,
+    /// Sampled pairwise stretch (redundant end-to-end check).
+    pub pairwise: f64,
+    /// Whether every host edge is spanned (must always be true).
+    pub valid: bool,
+}
+
+/// Verifies a spanner and collects the row statistics.
+pub fn measure(g: &Graph, edges: &[u32], pair_samples: usize, seed: u64) -> Measured {
+    spanner_graph::verify::assert_valid_edge_ids(g, edges);
+    let rep = verify_spanner(g, edges);
+    let pw = sampled_pairwise_stretch(g, edges, pair_samples, seed);
+    Measured {
+        size: edges.len(),
+        stretch: rep.max_edge_stretch,
+        avg_stretch: rep.avg_edge_stretch,
+        pairwise: pw.max,
+        valid: rep.all_edges_spanned,
+    }
+}
+
+/// `n^{1+1/k}` — the size baseline every size column is normalised by.
+pub fn size_baseline(n: usize, k: u32) -> f64 {
+    (n as f64).powf(1.0 + 1.0 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{connected_erdos_renyi, WeightModel};
+
+    #[test]
+    fn measure_full_graph() {
+        let g = connected_erdos_renyi(60, 0.1, WeightModel::Unit, 1);
+        let all: Vec<u32> = (0..g.m() as u32).collect();
+        let m = measure(&g, &all, 10, 2);
+        assert!(m.valid);
+        assert!(m.stretch <= 1.0 + 1e-9);
+        assert_eq!(m.size, g.m());
+    }
+
+    #[test]
+    fn baseline_matches_formula() {
+        assert!((size_baseline(100, 2) - 1000.0).abs() < 1e-6);
+    }
+}

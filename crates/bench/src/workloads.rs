@@ -1,0 +1,68 @@
+//! Canonical workload sets shared by the experiment binaries, so tables
+//! across experiments are comparable.
+
+use spanner_graph::generators::{Family, WeightModel};
+use spanner_graph::Graph;
+
+/// The standard weighted workload battery (verification-sized).
+pub fn weighted_battery() -> Vec<(String, Graph)> {
+    let families = [
+        (Family::ErdosRenyi { n: 1024, avg_deg: 12.0 }, WeightModel::PowersOfTwo(10)),
+        (Family::Geometric { n: 1024, radius: 0.06 }, WeightModel::Unit), // Euclidean weights
+        (Family::Torus { side: 32 }, WeightModel::Uniform(1, 64)),
+        (Family::PowerLaw { n: 1024, avg_deg: 10.0 }, WeightModel::Uniform(1, 64)),
+    ];
+    families
+        .iter()
+        .map(|(f, w)| {
+            let w = if matches!(f, Family::Geometric { .. }) {
+                WeightModel::Uniform(1, 1) // Family::generate swaps in Euclidean weights
+            } else {
+                *w
+            };
+            (f.name(), f.generate(w, 0xBEEF))
+        })
+        .collect()
+}
+
+/// The standard unweighted battery (for Appendix B and the unweighted
+/// comparisons).
+pub fn unweighted_battery() -> Vec<(String, Graph)> {
+    [
+        Family::ErdosRenyi { n: 1024, avg_deg: 10.0 },
+        Family::Hypercube { d: 10 },
+        Family::PowerLaw { n: 1024, avg_deg: 8.0 },
+        Family::CliqueChain { cliques: 32, size: 16 },
+    ]
+    .iter()
+    .map(|f| (f.name(), f.generate(WeightModel::Unit, 0xFEED).unweighted_copy()))
+    .collect()
+}
+
+/// One mid-size weighted Erdős–Rényi instance (the default single-graph
+/// subject when a whole battery would be overkill).
+pub fn default_er(n: usize) -> Graph {
+    Family::ErdosRenyi { n, avg_deg: 12.0 }.generate(WeightModel::PowersOfTwo(8), 0xE12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batteries_are_nonempty_and_connected_enough() {
+        for (name, g) in weighted_battery() {
+            assert!(g.n() > 0 && g.m() > 0, "{name}");
+        }
+        for (name, g) in unweighted_battery() {
+            assert!(g.is_unweighted(), "{name}");
+        }
+    }
+
+    #[test]
+    fn default_er_sized() {
+        let g = default_er(512);
+        assert_eq!(g.n(), 512);
+        assert!(g.m() > 512);
+    }
+}

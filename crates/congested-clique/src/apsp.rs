@@ -1,0 +1,117 @@
+//! Corollary 1.5: `O(log^s n)`-approximate weighted APSP in the
+//! Congested Clique in `O(t·log log n / log(t+1))` rounds.
+//!
+//! Pipeline: build the Theorem 8.1 spanner with `k = ⌈log₂ n⌉`,
+//! `t = ⌈log₂ log₂ n⌉` and `O(log n)` repetitions (w.h.p. size
+//! `O(n log log n)`); disseminate the whole spanner to every node with
+//! Lenzen routing (`⌈|E_S|·w / (n−1)⌉ + O(1)` rounds — the
+//! `O(log log n)` of the corollary); every node locally answers its row
+//! of the distance table.
+
+use spanner_graph::edge::Distance;
+use spanner_graph::shortest_paths::dijkstra;
+use spanner_graph::Graph;
+
+use crate::network::CcNetwork;
+use crate::spanner::{cc_spanner, CcSpannerRun};
+use spanner_core::TradeoffParams;
+
+/// Outcome of the Congested Clique APSP pipeline.
+#[derive(Debug)]
+pub struct CcApspRun {
+    /// The underlying spanner run (its `rounds` are included below).
+    pub spanner_run: CcSpannerRun,
+    /// Rounds for the spanner dissemination step alone.
+    pub dissemination_rounds: u64,
+    /// Total clique rounds (construction + dissemination).
+    pub total_rounds: u64,
+    /// The spanner every node now holds.
+    pub spanner: Graph,
+    /// The stretch guarantee (`O(log^s n)` for the derived parameters).
+    pub stretch_bound: f64,
+}
+
+impl CcApspRun {
+    /// Node `u`'s approximate distance row (what node `u` computes
+    /// locally after dissemination).
+    pub fn row(&self, u: u32) -> Vec<Distance> {
+        dijkstra(&self.spanner, u).dist
+    }
+}
+
+/// The Corollary 1.5 parameters (`k = ⌈log₂ n⌉`, `t = ⌈log₂ log₂ n⌉`).
+pub fn cc_apsp_params(n: usize) -> TradeoffParams {
+    let nf = n.max(4) as f64;
+    let k = (nf.log2().ceil() as u32).max(2);
+    let t = (nf.log2().log2().ceil() as u32).max(1);
+    TradeoffParams::new(k, t)
+}
+
+/// Runs the full Corollary 1.5 pipeline. `repetitions` defaults to
+/// `⌈log₂ n⌉` when `None`.
+pub fn cc_apsp(g: &Graph, seed: u64, repetitions: Option<usize>) -> CcApspRun {
+    let n = g.n().max(2);
+    let params = cc_apsp_params(n);
+    let reps = repetitions
+        .unwrap_or(((n as f64).log2().ceil() as usize).clamp(1, 64));
+    let spanner_run = cc_spanner(g, params, seed, reps);
+
+    // Disseminate: |E_S| edges of 4 words each must reach every node.
+    let mut net = CcNetwork::new(n);
+    let dissemination_rounds = net.disseminate_to_all(4 * spanner_run.result.size());
+    let total_rounds = spanner_run.rounds + dissemination_rounds;
+
+    let spanner = g.edge_subgraph(&spanner_run.result.edges);
+    let stretch_bound = spanner_run.result.stretch_bound;
+    CcApspRun { spanner_run, dissemination_rounds, total_rounds, spanner, stretch_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::edge::INFINITY;
+    use spanner_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn apsp_rows_respect_guarantee() {
+        let g = generators::connected_erdos_renyi(128, 0.08, WeightModel::Uniform(1, 16), 3);
+        let run = cc_apsp(&g, 7, None);
+        let exact = dijkstra(&g, 5).dist;
+        let approx = run.row(5);
+        for v in 0..g.n() {
+            if v != 5 && exact[v] != INFINITY && exact[v] > 0 {
+                let ratio = approx[v] as f64 / exact[v] as f64;
+                assert!(ratio >= 1.0 - 1e-9, "underestimate at {v}");
+                assert!(
+                    ratio <= run.stretch_bound + 1e-9,
+                    "v={v}: {ratio} > {}",
+                    run.stretch_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_rounds_scale_with_spanner_size() {
+        let g = generators::connected_erdos_renyi(128, 0.15, WeightModel::Unit, 5);
+        let run = cc_apsp(&g, 9, Some(4));
+        let expected = (4 * run.spanner_run.result.size())
+            .div_ceil(g.n() - 1) as u64
+            + 2;
+        assert_eq!(run.dissemination_rounds, expected);
+        assert!(run.total_rounds > run.dissemination_rounds);
+    }
+
+    #[test]
+    fn spanner_is_subgraph_sized_near_linearly() {
+        let g = generators::connected_erdos_renyi(256, 0.2, WeightModel::Unit, 11);
+        let run = cc_apsp(&g, 13, None);
+        // O(n log log n) with slack; certainly far below m here.
+        assert!(
+            run.spanner.m() < g.m() / 2,
+            "spanner {} vs m {}",
+            run.spanner.m(),
+            g.m()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # congested-clique
+//!
+//! Section 8 of the paper: spanners and approximate APSP in the
+//! **Congested Clique** model — `n` nodes, synchronous rounds, every
+//! ordered pair may exchange one `O(log n)`-bit message per round.
+//!
+//! Three pieces:
+//!
+//! * [`network`] — the round/bandwidth accounting model, including
+//!   Lenzen's routing theorem as a primitive (any load with ≤ `n`
+//!   messages sent and received per node routes in `O(1)` rounds) and
+//!   all-to-all information collection (`W` total words reach every node
+//!   in `⌈W/(n−1)⌉ + O(1)` rounds).
+//! * [`spanner`] — Theorem 8.1: the general trade-off algorithm with the
+//!   parallel-repetition trick implemented bit-for-bit: per iteration,
+//!   cluster centres flip `R = O(log n)` coins, pack them into a single
+//!   `O(log n)`-bit broadcast, designated collector nodes tally each
+//!   run's cost, and all nodes deterministically commit to the best run
+//!   — turning the expected-size guarantee into a w.h.p. one at `O(1)`
+//!   extra rounds per iteration.
+//! * [`apsp`] — Corollary 1.5: every node learns the whole spanner
+//!   (size `O(n log log n)` ⇒ `O(log log n)` rounds by Lenzen routing)
+//!   and answers its row of APSP locally.
+//!
+//! With `repetitions = 1` the spanner run is coin-identical to the
+//! sequential reference (`spanner_core::general_spanner`), which the
+//! differential tests exploit.
+
+pub mod apsp;
+pub mod network;
+pub mod spanner;
+
+pub use apsp::{cc_apsp, CcApspRun};
+pub use network::CcNetwork;
+pub use spanner::{cc_spanner, CcSpannerRun};

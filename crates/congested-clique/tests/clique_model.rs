@@ -1,0 +1,67 @@
+//! Integration tests of the Congested Clique model accounting and the
+//! Section 8 pipelines' structural properties.
+
+use congested_clique::{cc_apsp, cc_spanner, CcNetwork};
+use spanner_core::TradeoffParams;
+use spanner_graph::generators::{self, WeightModel};
+
+#[test]
+fn wider_messages_cut_broadcast_rounds() {
+    let mut narrow = CcNetwork::new(64);
+    let mut wide = CcNetwork::new(64);
+    wide.b_words = 4;
+    let r_narrow = narrow.broadcast_from_all(8);
+    let r_wide = wide.broadcast_from_all(8);
+    assert_eq!(r_narrow, 8);
+    assert_eq!(r_wide, 2);
+}
+
+#[test]
+fn dissemination_formula_matches_cor_1_5_shape() {
+    // O(n log log n) words disseminate in O(log log n) rounds: the
+    // per-node budget is (n-1) words/round.
+    for n in [128usize, 512, 2048] {
+        let mut net = CcNetwork::new(n);
+        let loglog = (n as f64).log2().log2();
+        let payload = (4.0 * n as f64 * loglog) as usize; // 4-word edges
+        let rounds = net.disseminate_to_all(payload);
+        let expected = (payload.div_ceil(n - 1) as u64) + net.lenzen_constant;
+        assert_eq!(rounds, expected);
+        assert!(
+            rounds as f64 <= 4.0 * loglog + 8.0,
+            "n={n}: {rounds} rounds vs O(loglog n) = {loglog:.1}"
+        );
+    }
+}
+
+#[test]
+fn spanner_run_is_deterministic_including_chosen_runs() {
+    let g = generators::connected_erdos_renyi(90, 0.1, WeightModel::Uniform(1, 8), 3);
+    let params = TradeoffParams::new(4, 2);
+    let a = cc_spanner(&g, params, 7, 6);
+    let b = cc_spanner(&g, params, 7, 6);
+    assert_eq!(a.result.edges, b.result.edges);
+    assert_eq!(a.chosen_runs, b.chosen_runs);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn apsp_total_words_accounts_for_dissemination() {
+    let g = generators::torus(10, 10, WeightModel::Uniform(1, 5), 1);
+    let run = cc_apsp(&g, 3, Some(4));
+    assert!(run.total_rounds >= run.spanner_run.rounds);
+    // Every node must be able to answer every row.
+    for s in [0u32, 42, 99] {
+        let row = run.row(s);
+        assert_eq!(row.len(), g.n());
+        assert_eq!(row[s as usize], 0);
+    }
+}
+
+#[test]
+fn disconnected_graphs_work_in_the_clique_too() {
+    let g = generators::erdos_renyi(80, 0.02, WeightModel::Unit, 9);
+    let run = cc_spanner(&g, TradeoffParams::new(4, 2), 5, 4);
+    let rep = spanner_graph::verify::verify_spanner(&g, &run.result.edges);
+    assert!(rep.all_edges_spanned);
+}

@@ -1,0 +1,102 @@
+//! Section 4: the cluster-cluster merging algorithm (Theorem 4.14).
+//!
+//! This is the fastest end of the paper's trade-off: `⌈log k⌉` epochs,
+//! each a single grow iteration followed by a contraction, with the
+//! doubly-exponential sampling schedule `p_i = n^{-2^{i-1}/k}`. Stretch
+//! `O(k^{log 3})`, expected size `O(n^{1+1/k} log k)`, weighted graphs.
+//!
+//! As Section 5 observes, this is exactly the general algorithm at
+//! `t = 1` — the implementation delegates to [`crate::general`] with that
+//! parameter (the sampling schedule and the per-iteration rules coincide
+//! literally; see `params::tests::probabilities_decrease_doubly_exponentially`).
+
+use spanner_graph::Graph;
+
+use crate::general::{general_spanner, BuildOptions};
+use crate::params::TradeoffParams;
+use crate::result::SpannerResult;
+
+/// Builds an `O(k^{log 3})`-stretch spanner of expected size
+/// `O(n^{1+1/k} log k)` in `⌈log₂ k⌉` epochs (Theorem 4.14).
+pub fn cluster_merging_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    let mut r = general_spanner(
+        g,
+        TradeoffParams::cluster_merging(k),
+        seed,
+        BuildOptions::default(),
+    );
+    r.algorithm = format!("cluster-merging(k={k})");
+    // Theorem 4.10's specialised bound: paths of weight ≤ k^{log 3}·w_e.
+    r.stretch_bound = (k as f64).powf(3f64.log2());
+    r
+}
+
+/// Same, with per-epoch radius tracking for ablation A1 (the radii must
+/// obey the `(3^i − 1)/2` law of Theorem 4.8).
+pub fn cluster_merging_spanner_tracked(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    let mut r = general_spanner(
+        g,
+        TradeoffParams::cluster_merging(k),
+        seed,
+        BuildOptions { track_radii: true },
+    );
+    r.algorithm = format!("cluster-merging(k={k})");
+    r.stretch_bound = (k as f64).powf(3f64.log2());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{self, WeightModel};
+    use spanner_graph::verify::verify_spanner;
+
+    #[test]
+    fn runs_log_k_epochs() {
+        let g = generators::connected_erdos_renyi(200, 0.06, WeightModel::Uniform(1, 8), 1);
+        let r = cluster_merging_spanner(&g, 16, 5);
+        assert!(r.epochs <= 4, "log2(16) = 4 epochs, got {}", r.epochs);
+        assert_eq!(r.iterations, r.epochs, "t = 1: one iteration per epoch");
+    }
+
+    #[test]
+    fn stretch_respects_k_log3() {
+        let g = generators::connected_erdos_renyi(150, 0.08, WeightModel::PowersOfTwo(6), 2);
+        for k in [2u32, 4, 8] {
+            let r = cluster_merging_spanner(&g, k, 31);
+            let rep = verify_spanner(&g, &r.edges);
+            assert!(rep.all_edges_spanned);
+            let bound = (k as f64).powf(3f64.log2());
+            assert!(
+                rep.max_edge_stretch <= bound + 1e-9,
+                "k={k}: measured {} > k^log3 = {bound}",
+                rep.max_edge_stretch
+            );
+        }
+    }
+
+    #[test]
+    fn radius_follows_power_of_three_law() {
+        let g = generators::torus(14, 14, WeightModel::Unit, 0);
+        let r = cluster_merging_spanner_tracked(&g, 16, 3);
+        for (i, &radius) in r.radius_per_epoch.iter().enumerate() {
+            let bound = (3f64.powi(i as i32 + 1) - 1.0) / 2.0;
+            assert!(
+                radius as f64 <= bound,
+                "epoch {}: radius {} > (3^i-1)/2 = {}",
+                i + 1,
+                radius,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn supernode_counts_decay() {
+        let g = generators::connected_erdos_renyi(300, 0.05, WeightModel::Unit, 7);
+        let r = cluster_merging_spanner(&g, 8, 11);
+        for w in r.supernodes_per_epoch.windows(2) {
+            assert!(w[1] <= w[0], "super-node counts must be non-increasing");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # spanner-core
+//!
+//! The primary contribution of *"Massively Parallel Algorithms for
+//! Distance Approximation and Spanners"* (Biswas, Dory, Ghaffari,
+//! Mitrović, Nazari — SPAA 2021): spanner constructions whose parallel
+//! round complexity is `poly(log k)` instead of the `O(k)` of
+//! Baswana–Sen, at the price of a `k^{o(1)}`-ish factor in the stretch.
+//!
+//! ## Algorithms
+//!
+//! | module | paper | rounds (iterations) | stretch | size |
+//! |---|---|---|---|---|
+//! | [`baswana_sen`] | \[BS07] baseline | `k` | `2k−1` | `O(k·n^{1+1/k})` |
+//! | [`cluster_merging`] | §4 (Thm 4.14) | `⌈log k⌉` | `O(k^{log 3})` | `O(n^{1+1/k}log k)` |
+//! | [`sqrt_k`] | §3 (Thm 3.4) | `O(√k)` | `O(k)` | `O(√k·n^{1+1/k})` |
+//! | [`general`] | §5 (Thm 5.15) | `t·⌈log k/log(t+1)⌉` | `O(k^s)`, `s=log(2t+1)/log(t+1)` | `O(n^{1+1/k}(t+log k))` |
+//! | [`presets`] | Cor 1.2 | the 4 named settings | | |
+//! | [`unweighted_ok`] | App B (Thm 1.3) | `O(log k)` | `O(k)` (unweighted) | `O(k·n^{1+1/k})` |
+//!
+//! All of these work on **weighted** graphs except Appendix B's, which is
+//! inherently unweighted (as in the paper).
+//!
+//! ## Execution models
+//!
+//! Every construction exists as a *sequential reference* (this crate's
+//! default entry points — they execute the exact per-iteration rules and
+//! are what the stretch/size experiments run), and the general algorithm
+//! additionally has a fully *distributed driver* ([`mpc_driver`]) that
+//! executes through [`mpc_runtime`]'s primitives with measured rounds
+//! and enforced memory — the two produce **identical spanners** from the
+//! same seed (shared coins in [`coins`], identical `(weight, id)`
+//! tie-breaks), which integration tests verify.
+
+pub mod baswana_sen;
+pub mod cluster_merging;
+pub mod coins;
+pub mod engine;
+pub mod general;
+pub mod mpc_driver;
+pub mod params;
+pub mod presets;
+pub mod result;
+pub mod sqrt_k;
+pub mod streaming;
+pub mod unweighted_ok;
+
+pub use general::{best_of, general_spanner, log_k_spanner, BuildOptions};
+pub use params::TradeoffParams;
+pub use result::SpannerResult;

@@ -1,0 +1,144 @@
+//! Corollary 1.2: the paper's four named points on the round/stretch
+//! trade-off curve, as ready-made constructors.
+//!
+//! | Setting | rounds | stretch | size |
+//! |---|---|---|---|
+//! | (1) `t = 1` | `O(log k)` | `O(k^{log 3})` | `O(n^{1+1/k} log k)` |
+//! | (2) `t = 2^{1/ε}` | `O(2^{1/ε} ε^{-1} log k)` | `O(k^{1+ε})` | `O(n^{1+1/k}(2^{1/ε}+log k))` |
+//! | (3) `t = log k` | `O(log²k/log log k)` | `k^{1+o(1)}` | `O(n^{1+1/k} log k)` |
+//! | (4) `k = log n, t = log log n` | `O(log²log n / log log log n)` | `log^{1+o(1)} n` | `O(n log log n)` |
+
+use spanner_graph::Graph;
+
+use crate::general::{general_spanner, BuildOptions};
+use crate::params::TradeoffParams;
+use crate::result::SpannerResult;
+
+/// Which of the four Corollary 1.2 settings to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorollarySetting {
+    /// (1): `t = 1` — `O(log k)` rounds, `O(k^{log 3})` stretch.
+    Fastest,
+    /// (2): `t = ⌈2^{1/ε}⌉` — `O(k^{1+ε})` stretch. Carries its ε.
+    Epsilon(f64),
+    /// (3): `t = ⌈log k⌉` — `k^{1+o(1)}` stretch in
+    /// `O(log²k/log log k)` rounds.
+    LogK,
+    /// (4): the APSP configuration — `k = ⌈log n⌉`, `t = ⌈log log n⌉`,
+    /// stretch `log^{1+o(1)} n`, size `O(n log log n)`.
+    ApspRegime,
+}
+
+impl CorollarySetting {
+    /// The trade-off parameters this setting dictates for a graph with
+    /// `n` vertices and the given `k` (ignored by `ApspRegime`, which
+    /// derives `k` from `n`).
+    pub fn params(&self, n: usize, k: u32) -> TradeoffParams {
+        match *self {
+            CorollarySetting::Fastest => TradeoffParams::new(k, 1),
+            CorollarySetting::Epsilon(eps) => {
+                assert!(eps > 0.0, "epsilon must be positive");
+                let t = 2f64.powf(1.0 / eps).ceil() as u32;
+                TradeoffParams::new(k, t.max(1))
+            }
+            CorollarySetting::LogK => TradeoffParams::log_k(k),
+            CorollarySetting::ApspRegime => {
+                let n = n.max(4) as f64;
+                let k = n.log2().ceil() as u32;
+                let t = (n.log2().log2().ceil() as u32).max(1);
+                TradeoffParams::new(k.max(2), t)
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            CorollarySetting::Fastest => "cor1.2(1) t=1".into(),
+            CorollarySetting::Epsilon(e) => format!("cor1.2(2) eps={e}"),
+            CorollarySetting::LogK => "cor1.2(3) t=log k".into(),
+            CorollarySetting::ApspRegime => "cor1.2(4) k=log n".into(),
+        }
+    }
+
+    /// All four settings with a default ε of 1/2.
+    pub fn all() -> Vec<CorollarySetting> {
+        vec![
+            CorollarySetting::Fastest,
+            CorollarySetting::Epsilon(0.5),
+            CorollarySetting::LogK,
+            CorollarySetting::ApspRegime,
+        ]
+    }
+}
+
+/// Runs the chosen Corollary 1.2 setting on `g`.
+pub fn corollary_spanner(
+    g: &Graph,
+    setting: CorollarySetting,
+    k: u32,
+    seed: u64,
+) -> SpannerResult {
+    let params = setting.params(g.n(), k);
+    let mut r = general_spanner(g, params, seed, BuildOptions::default());
+    r.algorithm = format!("{} [k={},t={}]", setting.label(), params.k, params.t);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{self, WeightModel};
+    use spanner_graph::verify::verify_spanner;
+
+    #[test]
+    fn epsilon_setting_picks_2_to_inv_eps() {
+        let p = CorollarySetting::Epsilon(0.5).params(1000, 64);
+        assert_eq!(p.t, 4); // 2^{1/0.5} = 4
+        let p = CorollarySetting::Epsilon(1.0).params(1000, 64);
+        assert_eq!(p.t, 2);
+    }
+
+    #[test]
+    fn apsp_regime_derives_k_from_n() {
+        let p = CorollarySetting::ApspRegime.params(1024, 99);
+        assert_eq!(p.k, 10); // log2(1024)
+        assert!(p.t >= 1 && p.t <= p.k);
+    }
+
+    #[test]
+    fn all_settings_produce_valid_spanners() {
+        let g = generators::connected_erdos_renyi(150, 0.08, WeightModel::Uniform(1, 16), 3);
+        for setting in CorollarySetting::all() {
+            let r = corollary_spanner(&g, setting, 8, 17);
+            let rep = verify_spanner(&g, &r.edges);
+            assert!(rep.all_edges_spanned, "{}", r.algorithm);
+            assert!(
+                rep.max_edge_stretch <= r.stretch_bound + 1e-9,
+                "{}: {} > {}",
+                r.algorithm,
+                rep.max_edge_stretch,
+                r.stretch_bound
+            );
+        }
+    }
+
+    #[test]
+    fn faster_settings_run_fewer_iterations() {
+        let g = generators::connected_erdos_renyi(200, 0.06, WeightModel::Unit, 5);
+        let fast = corollary_spanner(&g, CorollarySetting::Fastest, 16, 7);
+        let slow = crate::baswana_sen::baswana_sen(&g, 16, 7);
+        assert!(
+            fast.iterations < slow.iterations,
+            "t=1 ({}) must beat Baswana–Sen ({})",
+            fast.iterations,
+            slow.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let _ = CorollarySetting::Epsilon(0.0).params(100, 8);
+    }
+}

@@ -1,0 +1,137 @@
+//! Section 3: the `O(√k)`-round near-optimal spanner (Theorems 3.1/3.4).
+//!
+//! Two phases:
+//!
+//! 1. run `t = ⌈√k⌉` Baswana–Sen-style grow iterations at probability
+//!    `n^{-1/k}` and stop; contract the clustering into a super-graph
+//!    `Ĝ`;
+//! 2. run Baswana–Sen **as a black box** on `Ĝ` with parameter
+//!    `t' = ⌈√k⌉` (the paper's occasional "`t' = √n`" is the evident
+//!    typo for `√k` — with `√n` neither the round bound `O(√k)` nor the
+//!    stretch bound `O(t·t') = O(k)` of Theorem 3.4 would parse), and
+//!    map each super-edge the black box keeps back to the original edge
+//!    realising it.
+//!
+//! Guarantees: stretch `O(k)` (radius `t` clusters × `(2t'−1)`-stretch
+//! super-paths), size `O(√k·n^{1+1/k})`, `O(√k)` rounds. The paper
+//! states this for unweighted graphs; the implementation accepts
+//! weighted inputs (both phases are weight-aware) and the tests exercise
+//! both.
+
+use spanner_graph::Graph;
+
+use crate::baswana_sen::baswana_sen;
+use crate::engine::Engine;
+use crate::result::SpannerResult;
+
+/// Builds the Section 3 two-phase spanner: stretch `O(k)`, size
+/// `O(√k·n^{1+1/k})`, `O(√k)` grow iterations.
+pub fn sqrt_k_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    assert!(k >= 1, "k must be at least 1");
+    let algorithm = format!("sqrt-k(k={k})");
+    if k == 1 || g.m() == 0 {
+        return SpannerResult {
+            edges: (0..g.m() as u32).collect(),
+            epochs: 0,
+            iterations: 0,
+            stretch_bound: 1.0,
+            radius_per_epoch: vec![],
+            supernodes_per_epoch: vec![],
+            algorithm,
+        };
+    }
+
+    let n = g.n();
+    let t = (k as f64).sqrt().ceil() as u32;
+    let p = (n.max(2) as f64).powf(-1.0 / k as f64);
+
+    // Phase 1: t grow iterations, then contraction.
+    let mut engine = Engine::new(g, seed);
+    for iter in 1..=t {
+        engine.run_iteration(p, 1, iter);
+    }
+    engine.contract();
+
+    // Phase 2: Baswana–Sen black box on the super-graph.
+    let q = engine.quotient_graph();
+    let phase1_iterations = engine.iterations_run;
+    let bs = baswana_sen(&q.graph, t, crate::coins::splitmix64(seed ^ 0x5af3_7a11));
+    engine.add_spanner_edges(bs.edges.iter().map(|&qid| q.edge_origin[qid as usize]));
+    engine.discard_live_edges();
+
+    // Stretch: clusters of radius ≤ t (in hops, weighted-stretch
+    // property) connected by (2t−1)-stretch super-paths; the Theorem 3.4
+    // accounting gives O(t·t') = O(k) with constant 4t·t' + 2t' + 1 ≤ 8k
+    // for t = t' = ⌈√k⌉ (each super-edge on the path detours through two
+    // cluster trees).
+    let tt = t as f64;
+    let stretch_bound = (2.0 * tt + 1.0) * (2.0 * tt - 1.0) + 2.0 * tt;
+    let mut r = engine.finish(algorithm, stretch_bound);
+    r.iterations = phase1_iterations + bs.iterations;
+    r.epochs = 2;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{self, WeightModel};
+    use spanner_graph::verify::verify_spanner;
+
+    fn check(g: &Graph, k: u32, seed: u64) -> (SpannerResult, f64) {
+        let r = sqrt_k_spanner(g, k, seed);
+        spanner_graph::verify::assert_valid_edge_ids(g, &r.edges);
+        let rep = verify_spanner(g, &r.edges);
+        assert!(rep.all_edges_spanned, "k={k}: unspanned edge");
+        assert!(
+            rep.max_edge_stretch <= r.stretch_bound + 1e-9,
+            "k={k}: stretch {} > bound {}",
+            rep.max_edge_stretch,
+            r.stretch_bound
+        );
+        (r, rep.max_edge_stretch)
+    }
+
+    #[test]
+    fn iteration_count_is_o_sqrt_k() {
+        let g = generators::connected_erdos_renyi(200, 0.06, WeightModel::Unit, 1);
+        for k in [4u32, 9, 16, 25] {
+            let r = sqrt_k_spanner(&g, k, 3);
+            let t = (k as f64).sqrt().ceil() as u32;
+            assert!(
+                r.iterations <= 2 * t,
+                "k={k}: {} iterations > 2√k = {}",
+                r.iterations,
+                2 * t
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_stretch_is_linear_in_k() {
+        let g = generators::connected_erdos_renyi(180, 0.07, WeightModel::Unit, 5);
+        for k in [4u32, 9, 16] {
+            check(&g, k, 7);
+        }
+    }
+
+    #[test]
+    fn weighted_inputs_are_supported() {
+        let g = generators::connected_erdos_renyi(150, 0.08, WeightModel::PowersOfTwo(7), 9);
+        for k in [4u32, 9] {
+            check(&g, k, 11);
+        }
+    }
+
+    #[test]
+    fn k1_is_identity() {
+        let g = generators::cycle(12, WeightModel::Unit, 0);
+        assert_eq!(sqrt_k_spanner(&g, 1, 0).size(), g.m());
+    }
+
+    #[test]
+    fn geometric_graphs_work() {
+        let g = generators::geometric_euclidean(150, 0.18, 13);
+        check(&g, 9, 15);
+    }
+}

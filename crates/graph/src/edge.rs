@@ -1,0 +1,118 @@
+//! Edge and edge-list types shared across the workspace.
+//!
+//! Edges are undirected and carry integral weights. Throughout the
+//! reproduction an edge is identified by its index (`EdgeId`) into the
+//! canonical edge list of the [`crate::Graph`] it belongs to; spanners are
+//! reported as sets of such indices, which makes the subgraph property
+//! (`H ⊆ G`, required by the definition of a spanner) true by construction.
+
+/// Edge weight. The paper's algorithms only ever *compare* and *add*
+/// weights, so integral weights lose no generality while keeping all
+/// distance computations exact.
+pub type Weight = u64;
+
+/// Distance value used by the exact shortest-path routines.
+pub type Distance = u64;
+
+/// Sentinel distance for unreachable vertices.
+pub const INFINITY: Distance = u64::MAX;
+
+/// An undirected weighted edge. Stored canonically with `u <= v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+    /// Weight (`>= 1` for all generated workloads; `0` is permitted but the
+    /// generators never produce it, matching the paper's positive weights).
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Creates a canonical edge, swapping endpoints so that `u <= v`.
+    ///
+    /// # Panics
+    /// Panics on self-loops: the paper's graphs are simple.
+    pub fn new(a: u32, b: u32, w: Weight) -> Self {
+        assert_ne!(a, b, "self-loops are not allowed");
+        if a <= b {
+            Edge { u: a, v: b, w }
+        } else {
+            Edge { u: b, v: a, w }
+        }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: u32) -> u32 {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "vertex {x} is not an endpoint of {self:?}");
+            self.u
+        }
+    }
+
+    /// Whether `x` is one of the endpoints.
+    #[inline]
+    pub fn has_endpoint(&self, x: u32) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+/// Identifier of an edge: its index into the owning graph's canonical edge
+/// list.
+pub type EdgeId = u32;
+
+/// A plain list of canonical edges, the exchange format between the graph
+/// builder, the generators and the distributed runtimes.
+pub type EdgeList = Vec<Edge>;
+
+/// Total weight of an edge list (used by MST-style sanity checks).
+pub fn total_weight(edges: &[Edge]) -> u128 {
+    edges.iter().map(|e| e.w as u128).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalises_endpoints() {
+        let e = Edge::new(7, 3, 10);
+        assert_eq!((e.u, e.v, e.w), (3, 7, 10));
+        let e = Edge::new(3, 7, 10);
+        assert_eq!((e.u, e.v, e.w), (3, 7, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(4, 4, 1);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(1, 2, 5);
+        assert_eq!(e.other(1), 2);
+        assert_eq!(e.other(2), 1);
+        assert!(e.has_endpoint(1) && e.has_endpoint(2) && !e.has_endpoint(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_rejects_non_endpoint() {
+        let e = Edge::new(1, 2, 5);
+        let _ = e.other(9);
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let edges = vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3)];
+        assert_eq!(total_weight(&edges), 5);
+    }
+}

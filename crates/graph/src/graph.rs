@@ -1,0 +1,277 @@
+//! Compact CSR graph representation and its builder.
+//!
+//! The entire reproduction works on **simple, undirected, weighted** graphs:
+//! the paper's algorithms assume them implicitly (parallel edges would only
+//! ever keep the lightest copy — exactly what [`GraphBuilder`] does).
+
+use crate::edge::{Edge, EdgeId, EdgeList, Weight};
+
+/// A weighted undirected graph in CSR (compressed sparse row) form.
+///
+/// Construction goes through [`GraphBuilder`] (or [`Graph::from_edges`]),
+/// which canonicalises endpoints, removes self-loops and keeps only the
+/// minimum-weight copy of parallel edges.
+///
+/// Each undirected edge is stored once in [`Graph::edges`] and twice in the
+/// adjacency structure (one directed copy per endpoint); adjacency entries
+/// carry the [`EdgeId`] so algorithms can report spanners as edge-id sets.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    edges: EdgeList,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// CSR adjacency: `(neighbour, weight, edge id)`.
+    adj: Vec<(u32, Weight, EdgeId)>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an arbitrary edge list.
+    ///
+    /// Self-loops are dropped; parallel edges keep the lightest copy.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for e in edges {
+            b.add_edge(e.u, e.v, e.w);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list; `EdgeId` values index into it.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id as usize]
+    }
+
+    /// Iterator over `(neighbour, weight, edge id)` for vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, Weight, EdgeId)> + '_ {
+        let v = v as usize;
+        self.adj[self.offsets[v]..self.offsets[v + 1]].iter().copied()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the graph has unit weights only.
+    pub fn is_unweighted(&self) -> bool {
+        self.edges.iter().all(|e| e.w == 1)
+    }
+
+    /// Largest edge weight (`1` for the empty graph, so ratios stay sane).
+    pub fn max_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.w).max().unwrap_or(1)
+    }
+
+    /// The subgraph induced by the given edge ids, on the same vertex set.
+    ///
+    /// This is how candidate spanners are materialised for verification:
+    /// picking edges by id guarantees `H ⊆ G`.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> Graph {
+        let edges: EdgeList = edge_ids.iter().map(|&id| self.edge(id)).collect();
+        Graph::from_edges(self.n, edges)
+    }
+
+    /// Strips weights, producing the unit-weight version of this graph
+    /// (used when feeding weighted workloads to unweighted-only algorithms
+    /// such as Appendix B's).
+    pub fn unweighted_copy(&self) -> Graph {
+        Graph::from_edges(
+            self.n,
+            self.edges.iter().map(|e| Edge::new(e.u, e.v, 1)),
+        )
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u128 {
+        crate::edge::total_weight(&self.edges)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates parallel edges keeping the minimum weight, drops self-loops,
+/// and produces a deterministic CSR layout (adjacency sorted by neighbour).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    raw: EdgeList,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, raw: Vec::new() }
+    }
+
+    /// Adds an undirected edge; self-loops are silently ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, a: u32, b: u32, w: Weight) -> &mut Self {
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "endpoint out of range: ({a},{b}) with n={}",
+            self.n
+        );
+        if a != b {
+            self.raw.push(Edge::new(a, b, w));
+        }
+        self
+    }
+
+    /// Number of raw (pre-dedup) edges added so far.
+    pub fn raw_len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Finalises into a [`Graph`].
+    pub fn build(mut self) -> Graph {
+        // Deduplicate: sort by (u, v, w) and keep the first (lightest) copy
+        // of each endpoint pair.
+        self.raw.sort_unstable_by_key(|e| (e.u, e.v, e.w));
+        self.raw.dedup_by_key(|e| (e.u, e.v));
+        let edges = self.raw;
+
+        let mut deg = vec![0usize; self.n + 1];
+        for e in &edges {
+            deg[e.u as usize + 1] += 1;
+            deg[e.v as usize + 1] += 1;
+        }
+        let mut offsets = deg;
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![(0u32, 0 as Weight, 0 as EdgeId); offsets[self.n]];
+        let mut cursor = offsets.clone();
+        for (id, e) in edges.iter().enumerate() {
+            adj[cursor[e.u as usize]] = (e.v, e.w, id as EdgeId);
+            cursor[e.u as usize] += 1;
+            adj[cursor[e.v as usize]] = (e.u, e.w, id as EdgeId);
+            cursor[e.v as usize] += 1;
+        }
+        // Deterministic neighbour order (ids are already endpoint-sorted).
+        for v in 0..self.n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            n: self.n,
+            edges,
+            offsets,
+            adj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(0, 2, 3)],
+        )
+    }
+
+    #[test]
+    fn csr_basic_shape() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_carry_weights_and_ids() {
+        let g = triangle();
+        let nbrs: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(nbrs.len(), 2);
+        for (u, w, id) in nbrs {
+            let e = g.edge(id);
+            assert!(e.has_endpoint(0) && e.has_endpoint(u));
+            assert_eq!(e.w, w);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_keep_lightest() {
+        let g = Graph::from_edges(
+            2,
+            vec![Edge::new(0, 1, 9), Edge::new(1, 0, 4), Edge::new(0, 1, 7)],
+        );
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge(0).w, 4);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1, 5).add_edge(0, 2, 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn edge_subgraph_selects_ids() {
+        let g = triangle();
+        let h = g.edge_subgraph(&[0, 2]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 2);
+    }
+
+    #[test]
+    fn unweighted_copy_unitises() {
+        let g = triangle();
+        assert!(!g.is_unweighted());
+        let u = g.unweighted_copy();
+        assert!(u.is_unweighted());
+        assert_eq!(u.m(), g.m());
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, vec![]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.max_weight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text edge-list I/O, so real-world graphs can be fed to the
+//! library (SNAP-style format: one `u v [w]` triple per line, `#`
+//! comments, 0-based vertex ids; missing weights default to 1).
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::edge::Edge;
+use crate::graph::{Graph, GraphBuilder};
+
+/// Parse errors for the edge-list reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line, with its 1-based number and content.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an edge list from any reader. The vertex count is
+/// `1 + max vertex id` unless a larger `min_n` is given.
+pub fn read_edge_list<R: BufRead>(reader: R, min_n: usize) -> Result<Graph, IoError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_v = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        let (u, v) = match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(IoError::Parse { line: idx + 1, content: trimmed.to_string() })
+            }
+        };
+        let w = parse(parts.next()).unwrap_or(1).max(1);
+        if u == v {
+            continue; // self-loops dropped, as everywhere in the library
+        }
+        let (u, v) = (u as u32, v as u32);
+        max_v = max_v.max(u).max(v);
+        edges.push(Edge::new(u, v, w));
+    }
+    let n = if edges.is_empty() {
+        min_n
+    } else {
+        (max_v as usize + 1).max(min_n)
+    };
+    let mut b = GraphBuilder::new(n);
+    for e in edges {
+        b.add_edge(e.u, e.v, e.w);
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge-list file.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(f), 0)
+}
+
+/// Writes a graph as an edge list (`u v w` per line, with a size
+/// header comment). Round-trips through [`read_edge_list`].
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# n={} m={}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    w.flush()
+}
+
+/// Writes a graph to a file.
+pub fn write_edge_list_file(g: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{connected_erdos_renyi, WeightModel};
+
+    #[test]
+    fn parses_basic_format() {
+        let text = "# comment\n0 1 5\n1 2\n\n% another comment\n2 0 3\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.edge(0).w, 5);
+        assert_eq!(g.edge(1).w, 3); // (0,2) sorts before (1,2)
+        assert_eq!(g.edge(2).w, 1); // defaulted
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("0 x 1\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn drops_self_loops_and_respects_min_n() {
+        let g = read_edge_list("3 3 9\n0 1 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = connected_erdos_renyi(60, 0.1, WeightModel::Uniform(1, 99), 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), g.n()).unwrap();
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = connected_erdos_renyi(30, 0.2, WeightModel::Unit, 9);
+        let path = std::env::temp_dir().join("mpc_spanners_io_test.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+}

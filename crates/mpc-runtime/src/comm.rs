@@ -1,0 +1,414 @@
+//! The raw communication layer: one-round all-to-all routing and the
+//! `n^γ`-ary aggregation trees of Section 6.
+//!
+//! Every function here executes real data movement between the simulated
+//! machines, charges the rounds it actually uses, and validates the
+//! per-round bandwidth and per-machine storage constraints. Records a
+//! machine keeps for itself are free (no self-traffic), matching the
+//! model.
+
+use rayon::prelude::*;
+
+use crate::dist::Dist;
+use crate::record::Record;
+use crate::system::MpcSystem;
+use crate::{MpcError, Result};
+
+/// One-round all-to-all: moves every record of `d` to the machine chosen
+/// by `dest` (which receives the record and its current machine index).
+///
+/// Bandwidth accounting: a machine's send volume is the words of its
+/// records with `dest != self`; its receive volume is the words arriving
+/// from other machines.
+pub fn route<T: Record>(
+    sys: &mut MpcSystem,
+    d: Dist<T>,
+    op: &'static str,
+    dest: impl Fn(&T, usize) -> usize + Send + Sync,
+) -> Result<Dist<T>> {
+    let p = sys.machines();
+    let shards = d.into_shards();
+
+    // Each source machine assembles its outboxes in parallel.
+    let outboxes: Vec<Vec<(usize, T)>> = shards
+        .into_par_iter()
+        .enumerate()
+        .map(|(src, shard)| {
+            shard
+                .into_iter()
+                .map(|rec| {
+                    let dst = dest(&rec, src);
+                    (dst, rec)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Validate destinations and tally traffic.
+    let mut sent = vec![0usize; p];
+    let mut received = vec![0usize; p];
+    for (src, outbox) in outboxes.iter().enumerate() {
+        for (dst, _) in outbox {
+            if *dst >= p {
+                return Err(MpcError::BadDestination { dest: *dst, num_machines: p });
+            }
+            if *dst != src {
+                sent[src] += T::WORDS;
+                received[*dst] += T::WORDS;
+            }
+        }
+    }
+    let max_sent = sent.iter().copied().max().unwrap_or(0);
+    let max_recv = received.iter().copied().max().unwrap_or(0);
+    let total: u64 = sent.iter().map(|&x| x as u64).sum();
+    sys.charge_round(op, max_sent, max_recv, total)?;
+
+    // Deliver deterministically: destination shards ordered by source
+    // machine, then by position within the source shard.
+    let mut new_shards: Vec<Vec<T>> = vec![Vec::new(); p];
+    for outbox in outboxes {
+        for (dst, rec) in outbox {
+            new_shards[dst].push(rec);
+        }
+    }
+    sys.check_all_storage(&new_shards, op)?;
+    Ok(Dist::from_shards(new_shards))
+}
+
+/// One-round all-to-all with *precomputed* destinations: `dests[m][i]` is
+/// the destination of record `i` of machine `m`. Used when destinations
+/// depend on a record's position (e.g. sample sort, where the tiebreak is
+/// the record's current machine/index) rather than only its contents.
+pub fn route_with<T: Record>(
+    sys: &mut MpcSystem,
+    d: Dist<T>,
+    op: &'static str,
+    dests: &[Vec<usize>],
+) -> Result<Dist<T>> {
+    let p = sys.machines();
+    let shards = d.into_shards();
+    assert_eq!(shards.len(), dests.len(), "one destination vector per machine");
+
+    let mut sent = vec![0usize; p];
+    let mut received = vec![0usize; p];
+    for (src, ds) in dests.iter().enumerate() {
+        assert_eq!(ds.len(), shards[src].len(), "one destination per record");
+        for &dst in ds {
+            if dst >= p {
+                return Err(MpcError::BadDestination { dest: dst, num_machines: p });
+            }
+            if dst != src {
+                sent[src] += T::WORDS;
+                received[dst] += T::WORDS;
+            }
+        }
+    }
+    let max_sent = sent.iter().copied().max().unwrap_or(0);
+    let max_recv = received.iter().copied().max().unwrap_or(0);
+    let total: u64 = sent.iter().map(|&x| x as u64).sum();
+    sys.charge_round(op, max_sent, max_recv, total)?;
+
+    let mut new_shards: Vec<Vec<T>> = vec![Vec::new(); p];
+    for (src, shard) in shards.into_iter().enumerate() {
+        for (i, rec) in shard.into_iter().enumerate() {
+            new_shards[dests[src][i]].push(rec);
+        }
+    }
+    sys.check_all_storage(&new_shards, op)?;
+    Ok(Dist::from_shards(new_shards))
+}
+
+/// Direct gather: every machine sends its shard to `root` in one round.
+/// Legal whenever the whole collection fits the root machine — e.g. the
+/// paper's Section 7 "send the spanner to one machine" step in the
+/// near-linear regime.
+pub fn gather_to_machine<T: Record>(
+    sys: &mut MpcSystem,
+    d: Dist<T>,
+    root: usize,
+    op: &'static str,
+) -> Result<Vec<T>> {
+    let routed = route(sys, d, op, |_, _| root)?;
+    let mut shards = routed.into_shards();
+    Ok(std::mem::take(&mut shards[root]))
+}
+
+/// Tree reduction of one summary per machine (the paper's **Find
+/// Minimum** shape): combines all summaries with `combine` using an
+/// f-ary aggregation tree of fan-out `cfg.fanout(T::WORDS)`.
+/// Rounds charged: tree depth. Returns the root's combined value.
+pub fn reduce_tree<T: Record>(
+    sys: &mut MpcSystem,
+    per_machine: Vec<T>,
+    op: &'static str,
+    combine: impl Fn(&T, &T) -> T,
+) -> Result<T> {
+    assert_eq!(per_machine.len(), sys.machines(), "one summary per machine");
+    let f = sys.cfg().fanout(T::WORDS);
+    let mut level: Vec<T> = per_machine;
+    while level.len() > 1 {
+        // Each group of f consecutive nodes sends to its leader.
+        let groups = level.len().div_ceil(f);
+        let mut next = Vec::with_capacity(groups);
+        let mut max_recv = 0usize;
+        let mut total = 0u64;
+        for g in 0..groups {
+            let lo = g * f;
+            let hi = (lo + f).min(level.len());
+            let mut acc = level[lo].clone();
+            for item in &level[lo + 1..hi] {
+                acc = combine(&acc, item);
+            }
+            let incoming = (hi - lo - 1) * T::WORDS;
+            max_recv = max_recv.max(incoming);
+            total += incoming as u64;
+            next.push(acc);
+        }
+        sys.charge_round(op, T::WORDS, max_recv, total)?;
+        level = next;
+    }
+    Ok(level.into_iter().next().expect("non-empty reduction"))
+}
+
+/// Tree broadcast (the paper's **Broadcast** subroutine): replicates a
+/// small payload from `src` to every machine along an f-ary tree.
+/// Rounds charged: tree depth. Returns one copy per machine (they are all
+/// identical; the vector form keeps the "every machine now knows it"
+/// reading explicit).
+pub fn broadcast_all<T: Record>(
+    sys: &mut MpcSystem,
+    payload: Vec<T>,
+    op: &'static str,
+) -> Result<Vec<Vec<T>>> {
+    let p = sys.machines();
+    let cap = sys.cfg().capacity();
+    let payload_words = payload.len() * T::WORDS;
+    if payload_words > cap {
+        return Err(MpcError::MemoryExceeded {
+            machine: 0,
+            words: payload_words,
+            capacity: cap,
+            op,
+        });
+    }
+    if p <= 1 || payload.is_empty() {
+        return Ok(vec![payload; p]);
+    }
+    // Pipelined chunked tree broadcast: each chunk is at most half the
+    // per-round budget so the tree fan-out stays ≥ 2, and chunks stream
+    // down the tree back-to-back (depth + chunks − 1 rounds).
+    let recs_per_chunk = ((cap / 2) / T::WORDS.max(1)).max(1);
+    let chunks = payload.len().div_ceil(recs_per_chunk);
+    let chunk_words = recs_per_chunk.min(payload.len()) * T::WORDS;
+    let f = (cap / chunk_words.max(1)).max(2);
+    let mut depth = 0usize;
+    let mut cover = 1usize;
+    while cover < p {
+        cover = cover.saturating_mul(f);
+        depth += 1;
+    }
+    let rounds = depth + chunks - 1;
+    let total_traffic = ((p - 1) * payload_words) as u64;
+    let per_round_total = total_traffic / rounds as u64;
+    for r in 0..rounds {
+        let leftover = if r == 0 { total_traffic % rounds as u64 } else { 0 };
+        sys.charge_round(
+            op,
+            (f * chunk_words).min(cap),
+            chunk_words,
+            per_round_total + leftover,
+        )?;
+    }
+    Ok(vec![payload; p])
+}
+
+/// Exclusive prefix scan over one summary per machine (up-sweep +
+/// down-sweep on the f-ary tree). `out[i]` is the combination of the
+/// summaries of machines `0..i` (identity for machine 0).
+///
+/// This is the workhorse behind segmented broadcasts / forward-fills over
+/// sorted collections, which is how the paper's "leader of M(v) informs
+/// the group" steps are realised when a vertex's edges span machines.
+pub fn machine_scan<T: Record>(
+    sys: &mut MpcSystem,
+    per_machine: Vec<T>,
+    identity: T,
+    op: &'static str,
+    combine: impl Fn(&T, &T) -> T + Copy,
+) -> Result<Vec<T>> {
+    let p = per_machine.len();
+    assert_eq!(p, sys.machines(), "one summary per machine");
+    if p == 0 {
+        return Ok(vec![]);
+    }
+    let f = sys.cfg().fanout(T::WORDS);
+
+    // Up-sweep: build the levels of group totals.
+    let mut levels: Vec<Vec<T>> = vec![per_machine];
+    while levels.last().expect("non-empty").len() > 1 {
+        let cur = levels.last().expect("non-empty");
+        let groups = cur.len().div_ceil(f);
+        let mut next = Vec::with_capacity(groups);
+        let mut max_recv = 0usize;
+        let mut total = 0u64;
+        for g in 0..groups {
+            let lo = g * f;
+            let hi = (lo + f).min(cur.len());
+            let mut acc = cur[lo].clone();
+            for item in &cur[lo + 1..hi] {
+                acc = combine(&acc, item);
+            }
+            let incoming = (hi - lo - 1) * T::WORDS;
+            max_recv = max_recv.max(incoming);
+            total += incoming as u64;
+            next.push(acc);
+        }
+        sys.charge_round(op, T::WORDS, max_recv, total)?;
+        levels.push(next);
+    }
+
+    // Down-sweep: push exclusive prefixes back down.
+    let depth = levels.len();
+    let mut prefixes: Vec<T> = vec![identity.clone()];
+    for lvl in (0..depth - 1).rev() {
+        let cur = &levels[lvl];
+        let mut next_prefixes = Vec::with_capacity(cur.len());
+        let mut max_sent = 0usize;
+        let mut total = 0u64;
+        for (g, parent_prefix) in prefixes.iter().enumerate() {
+            let lo = g * f;
+            let hi = (lo + f).min(cur.len());
+            let mut acc = parent_prefix.clone();
+            let sent = (hi - lo) * T::WORDS;
+            max_sent = max_sent.max(sent);
+            total += sent as u64;
+            for item in &cur[lo..hi] {
+                next_prefixes.push(acc.clone());
+                acc = combine(&acc, item);
+            }
+        }
+        sys.charge_round(op, max_sent, T::WORDS, total)?;
+        prefixes = next_prefixes;
+    }
+    debug_assert_eq!(prefixes.len(), p);
+    Ok(prefixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    fn sys(words: usize, machines: usize, slack: usize) -> MpcSystem {
+        MpcSystem::new(MpcConfig::explicit(words, machines, slack))
+    }
+
+    #[test]
+    fn route_moves_records() {
+        let mut s = sys(16, 4, 1);
+        let d = Dist::distribute(&mut s, (0u64..8).collect()).unwrap();
+        let routed = route(&mut s, d, "t", |&x, _| (x % 4) as usize).unwrap();
+        assert_eq!(s.rounds(), 1);
+        for (m, shard) in routed.shards().iter().enumerate() {
+            assert!(shard.iter().all(|&x| (x % 4) as usize == m));
+        }
+        assert_eq!(routed.len(), 8);
+    }
+
+    #[test]
+    fn route_detects_bandwidth_violation() {
+        // 1-word capacity, everything routed to machine 0.
+        let mut s = sys(2, 4, 1);
+        let d = Dist::distribute(&mut s, (0u64..8).collect()).unwrap();
+        let err = route(&mut s, d, "t", |_, _| 0).unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::BandwidthExceeded { .. } | MpcError::MemoryExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn route_rejects_bad_destination() {
+        let mut s = sys(16, 2, 1);
+        let d = Dist::distribute(&mut s, vec![1u64]).unwrap();
+        let err = route(&mut s, d, "t", |_, _| 7).unwrap_err();
+        assert!(matches!(err, MpcError::BadDestination { dest: 7, .. }));
+    }
+
+    #[test]
+    fn self_delivery_is_free() {
+        let mut s = sys(4, 2, 1);
+        let d = Dist::distribute(&mut s, vec![0u64, 1, 2, 3]).unwrap();
+        // Keep everything where it is: zero traffic.
+        let _ = route(&mut s, d, "t", |_, src| src).unwrap();
+        assert_eq!(s.metrics().total_comm_words, 0);
+        assert_eq!(s.rounds(), 1);
+    }
+
+    #[test]
+    fn gather_collects_everything() {
+        let mut s = sys(64, 4, 1);
+        let d = Dist::distribute(&mut s, (0u64..12).collect()).unwrap();
+        let all = gather_to_machine(&mut s, d, 2, "g").unwrap();
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn reduce_tree_computes_min_and_charges_depth() {
+        let machines = 27;
+        // fanout(1 word) = 3 → depth 3 over 27 machines.
+        let mut s = sys(3, machines, 4);
+        let vals: Vec<u64> = (0..machines as u64).map(|i| (i * 7) % 31).collect();
+        let expected = *vals.iter().min().unwrap();
+        let got = reduce_tree(&mut s, vals, "min", |a, b| *a.min(b)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(s.rounds(), 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_in_log_rounds() {
+        let mut s = sys(4, 16, 1);
+        let copies = broadcast_all(&mut s, vec![42u64], "b").unwrap();
+        assert_eq!(copies.len(), 16);
+        assert!(copies.iter().all(|c| c == &vec![42u64]));
+        // fanout = capacity/1 = 4 → coverage 1,4,16 → 2 rounds.
+        assert_eq!(s.rounds(), 2);
+    }
+
+    #[test]
+    fn broadcast_rejects_oversized_payload() {
+        let mut s = sys(2, 4, 1);
+        let err = broadcast_all(&mut s, vec![0u64; 10], "b").unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn machine_scan_is_exclusive_prefix() {
+        let machines = 9;
+        let mut s = sys(3, machines, 4);
+        let vals: Vec<u64> = (1..=machines as u64).collect();
+        let prefixes = machine_scan(&mut s, vals, 0u64, "scan", |a, b| a + b).unwrap();
+        // Exclusive prefix sums of 1..=9.
+        let expected: Vec<u64> = (0..machines as u64).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(prefixes, expected);
+        // depth = ceil(log_3 9) = 2 → up-sweep 2 + down-sweep 2.
+        assert_eq!(s.rounds(), 4);
+    }
+
+    #[test]
+    fn machine_scan_with_option_semantics() {
+        // The forward-fill combine: "rightmost Some wins".
+        let mut s = sys(8, 4, 2);
+        let vals: Vec<Option<u64>> = vec![None, Some(7), None, Some(9)];
+        let prefixes = machine_scan(&mut s, vals, None, "fill", |a, b| b.or(*a)).unwrap();
+        assert_eq!(prefixes, vec![None, None, Some(7), Some(7)]);
+    }
+
+    #[test]
+    fn single_machine_scan_is_trivial() {
+        let mut s = sys(8, 1, 1);
+        let prefixes = machine_scan(&mut s, vec![5u64], 0, "scan", |a, b| a + b).unwrap();
+        assert_eq!(prefixes, vec![0]);
+        assert_eq!(s.rounds(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Round / memory / traffic accounting.
+
+use std::collections::BTreeMap;
+
+/// Execution statistics accumulated by an [`crate::MpcSystem`].
+///
+/// `rounds` is the headline number every experiment reports; the rest
+/// exists to sanity-check the model constraints and to break rounds down
+/// by primitive (the per-`op` map feeds experiment E9).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Synchronous communication rounds executed so far.
+    pub rounds: u64,
+    /// Total words ever communicated.
+    pub total_comm_words: u64,
+    /// Largest number of words any machine sent in a single round.
+    pub max_send_words: usize,
+    /// Largest number of words any machine received in a single round.
+    pub max_recv_words: usize,
+    /// Largest number of words any machine ever held.
+    pub peak_machine_words: usize,
+    /// Rounds attributed to each primitive label.
+    pub rounds_by_op: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Records one communication round attributed to `op`.
+    pub fn add_round(&mut self, op: &'static str) {
+        self.rounds += 1;
+        *self.rounds_by_op.entry(op).or_insert(0) += 1;
+    }
+
+    /// Folds per-round traffic extremes into the running maxima.
+    pub fn observe_traffic(&mut self, sent: usize, received: usize, total: u64) {
+        self.max_send_words = self.max_send_words.max(sent);
+        self.max_recv_words = self.max_recv_words.max(received);
+        self.total_comm_words += total;
+    }
+
+    /// Folds a storage observation into the peak.
+    pub fn observe_storage(&mut self, words: usize) {
+        self.peak_machine_words = self.peak_machine_words.max(words);
+    }
+
+    /// Pretty one-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "rounds={} peak_mem={}w max_send={}w max_recv={}w total_comm={}w",
+            self.rounds,
+            self.peak_machine_words,
+            self.max_send_words,
+            self.max_recv_words,
+            self.total_comm_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_accumulate_per_op() {
+        let mut m = Metrics::default();
+        m.add_round("sort");
+        m.add_round("sort");
+        m.add_round("route");
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.rounds_by_op["sort"], 2);
+        assert_eq!(m.rounds_by_op["route"], 1);
+    }
+
+    #[test]
+    fn traffic_and_storage_track_maxima() {
+        let mut m = Metrics::default();
+        m.observe_traffic(10, 20, 30);
+        m.observe_traffic(5, 40, 45);
+        m.observe_storage(100);
+        m.observe_storage(50);
+        assert_eq!(m.max_send_words, 10);
+        assert_eq!(m.max_recv_words, 40);
+        assert_eq!(m.total_comm_words, 75);
+        assert_eq!(m.peak_machine_words, 100);
+        assert!(m.summary().contains("rounds=0"));
+    }
+}

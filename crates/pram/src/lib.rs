@@ -1,0 +1,19 @@
+//! # spanner-pram
+//!
+//! The paper's PRAM extension (end of Section 6): on a CRCW PRAM, each
+//! grow iteration of the spanner algorithms costs `O(log* n)` depth —
+//! the hashing / semisorting / generalised find-min primitives of
+//! \[BS07], plus an `O(1)`-depth leader-pointer merge — so the total
+//! depth is the MPC round count times an `O(log* n)` factor, with
+//! near-linear work.
+//!
+//! This crate provides a work/depth-accounting execution layer
+//! ([`tracker::PramTracker`]) and runs the general trade-off algorithm
+//! through it ([`spanner::pram_general_spanner`]), reproducing the
+//! claim experiment E10 reports: `depth ≈ iterations × Θ(log* n)`.
+
+pub mod spanner;
+pub mod tracker;
+
+pub use spanner::{pram_general_spanner, PramSpannerRun};
+pub use tracker::{log_star, PramTracker};

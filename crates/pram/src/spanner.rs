@@ -1,0 +1,160 @@
+//! The general trade-off spanner on the CRCW PRAM, with measured
+//! work/depth.
+//!
+//! State evolution reuses the engine (identical coins and tie-breaks ⇒
+//! the spanner equals the sequential reference bit-for-bit); this module
+//! contributes the PRAM cost model of Section 6's closing paragraphs:
+//!
+//! * per grow iteration: one hashing pass (cluster sampling lookup
+//!   tables), one semisort (grouping edges by (super-node, neighbouring
+//!   cluster)), one generalised find-min (nearest sampled cluster) —
+//!   three `O(log* n)`-depth primitives — plus `O(1)`-depth
+//!   leader-pointer merges;
+//! * per contraction: one semisort (minimum edge per super-node pair)
+//!   and an `O(1)`-depth pointer relabel;
+//! * work: proportional to the live edges touched.
+
+use spanner_core::engine::Engine;
+use spanner_core::{SpannerResult, TradeoffParams};
+use spanner_graph::Graph;
+
+use crate::tracker::PramTracker;
+
+/// Outcome of a PRAM spanner run.
+#[derive(Debug, Clone)]
+pub struct PramSpannerRun {
+    /// The spanner (equal to the sequential reference's for the same
+    /// seed).
+    pub result: SpannerResult,
+    /// Measured depth.
+    pub depth: u64,
+    /// Measured work.
+    pub work: u64,
+    /// `log* n` for the input size (the per-iteration depth factor).
+    pub log_star_n: u32,
+}
+
+/// Runs the Section 5 algorithm under PRAM accounting.
+pub fn pram_general_spanner(
+    g: &Graph,
+    params: TradeoffParams,
+    seed: u64,
+) -> PramSpannerRun {
+    let n = g.n();
+    let mut tracker = PramTracker::new(n.max(2));
+    let algorithm = format!("pram-general(k={},t={})", params.k, params.t);
+
+    if params.k == 1 || g.m() == 0 {
+        let result = SpannerResult {
+            edges: (0..g.m() as u32).collect(),
+            epochs: 0,
+            iterations: 0,
+            stretch_bound: 1.0,
+            radius_per_epoch: vec![],
+            supernodes_per_epoch: vec![],
+            algorithm,
+        };
+        return PramSpannerRun {
+            result,
+            depth: 0,
+            work: 0,
+            log_star_n: crate::tracker::log_star(n.max(2)),
+        };
+    }
+
+    let mut engine = Engine::new(g, seed);
+    let l = params.epochs();
+    for epoch in 1..=l {
+        let p = params.sampling_probability(n, epoch);
+        for iter in 1..=params.t {
+            let live = engine.live_edge_count() as u64;
+            let clusters = engine.cluster_count() as u64;
+            // Hashing: coin lookups per cluster.
+            tracker.primitive(clusters);
+            // Semisort: group candidate edges by (super-node, cluster).
+            tracker.primitive(2 * live);
+            // Generalised find-min: nearest sampled cluster per node.
+            tracker.primitive(live);
+            // Leader-pointer merge of joiners (union-find style, O(1)).
+            tracker.step(clusters);
+            engine.run_iteration(p, epoch, iter);
+        }
+        // Contraction: semisort for min-per-pair, pointer relabel.
+        let live = engine.live_edge_count() as u64;
+        tracker.primitive(live);
+        tracker.step(engine.supernode_count() as u64);
+        engine.contract();
+    }
+    // Phase 2: one more semisort over the residual edges.
+    tracker.primitive(engine.live_edge_count() as u64);
+    engine.phase2();
+
+    let result = engine.finish(algorithm, params.stretch_bound());
+    PramSpannerRun {
+        result,
+        depth: tracker.depth(),
+        work: tracker.work(),
+        log_star_n: crate::tracker::log_star(n.max(2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_core::{general_spanner, BuildOptions};
+    use spanner_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn pram_matches_sequential_reference() {
+        let g = generators::connected_erdos_renyi(120, 0.08, WeightModel::Uniform(1, 8), 3);
+        let params = TradeoffParams::new(8, 2);
+        let seq = general_spanner(&g, params, 17, BuildOptions::default());
+        let pram = pram_general_spanner(&g, params, 17);
+        assert_eq!(seq.edges, pram.result.edges);
+    }
+
+    #[test]
+    fn depth_is_iterations_times_log_star() {
+        let g = generators::connected_erdos_renyi(200, 0.06, WeightModel::Unit, 5);
+        let params = TradeoffParams::new(16, 2);
+        let run = pram_general_spanner(&g, params, 7);
+        let iters = run.result.iterations as u64;
+        let ls = run.log_star_n as u64;
+        // 3 primitives + 1 step per iteration, plus per-epoch and final
+        // charges: depth ∈ [3·iters·log*, 6·(iters+epochs+1)·log*].
+        assert!(run.depth >= 3 * iters * ls, "depth {} too small", run.depth);
+        let upper = 6 * (iters + run.result.epochs as u64 + 1) * ls.max(1);
+        assert!(run.depth <= upper, "depth {} > {upper}", run.depth);
+    }
+
+    #[test]
+    fn work_is_near_linear_in_m_per_iteration() {
+        let g = generators::connected_erdos_renyi(300, 0.05, WeightModel::Unit, 9);
+        let params = TradeoffParams::new(8, 2);
+        let run = pram_general_spanner(&g, params, 11);
+        let m = g.m() as u64;
+        let iters = run.result.iterations as u64 + run.result.epochs as u64 + 1;
+        assert!(
+            run.work <= 6 * m * iters,
+            "work {} vs 6·m·iters {}",
+            run.work,
+            6 * m * iters
+        );
+    }
+
+    #[test]
+    fn pram_depth_beats_baswana_sen_for_large_k() {
+        // The point of the paper: o(k) depth. Compare against k·log* n.
+        let g = generators::connected_erdos_renyi(150, 0.08, WeightModel::Unit, 13);
+        let k = 64u32;
+        let run = pram_general_spanner(&g, TradeoffParams::log_k(k), 3);
+        let ls = run.log_star_n as u64;
+        let bs_depth = k as u64 * ls; // [BS07]: k iterations of the same primitives
+        assert!(
+            run.depth < bs_depth,
+            "poly(log k) depth {} must beat BS {}",
+            run.depth,
+            bs_depth
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a spanner along the paper's round/stretch
+//! trade-off, verify it exactly, and print the predicted-vs-measured
+//! summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpc_spanners::core::baswana_sen::baswana_sen;
+use mpc_spanners::core::cluster_merging::cluster_merging_spanner;
+use mpc_spanners::core::sqrt_k::sqrt_k_spanner;
+use mpc_spanners::core::{general_spanner, TradeoffParams};
+use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
+use mpc_spanners::graph::verify::verify_spanner;
+
+fn main() {
+    // A weighted graph: G(n, p) plus a connectivity backbone, weights
+    // spanning three orders of magnitude.
+    let g = connected_erdos_renyi(2000, 0.008, WeightModel::PowersOfTwo(10), 7);
+    println!("input graph: n = {}, m = {}", g.n(), g.m());
+
+    let k = 16u32;
+    let runs = [
+        ("Section 4  (t=1, fastest)", cluster_merging_spanner(&g, k, 42)),
+        (
+            "Section 5  (t=log k)     ",
+            general_spanner(&g, TradeoffParams::log_k(k), 42, Default::default()),
+        ),
+        ("Section 3  (two-phase)   ", sqrt_k_spanner(&g, k, 42)),
+        ("Baswana-Sen baseline     ", baswana_sen(&g, k, 42)),
+    ];
+    for (label, spanner) in runs {
+        let report = verify_spanner(&g, &spanner.edges);
+        assert!(report.all_edges_spanned, "every edge must be spanned");
+        println!(
+            "{label}: {:>4} iterations | {:>5} edges ({:>4.1}% of m) | stretch {:>6.2} (bound {:>7.2})",
+            spanner.iterations,
+            spanner.size(),
+            100.0 * spanner.size() as f64 / g.m() as f64,
+            report.max_edge_stretch,
+            spanner.stretch_bound,
+        );
+    }
+    println!("\nThe trade-off of Theorem 1.1: fewer iterations <-> more stretch.");
+}

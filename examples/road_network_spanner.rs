@@ -1,0 +1,61 @@
+//! Scenario: sparsifying a *road-network-like* graph for distance
+//! workloads ("reduce communication and memory for distance-related
+//! computation on denser graphs at the expense of accuracy", paper
+//! §1.2).
+//!
+//! A random geometric graph with Euclidean weights stands in for the
+//! road network. We sweep the sparsity parameter `k` of the Appendix B
+//! unweighted algorithm on the connectivity topology *and* the weighted
+//! general algorithm on the true weights, and print the operating
+//! curve: spanner size vs worst-case detour.
+//!
+//! ```sh
+//! cargo run --release --example road_network_spanner
+//! ```
+
+use mpc_spanners::core::unweighted_ok::{unweighted_ok_spanner, UnweightedOkConfig};
+use mpc_spanners::core::{general_spanner, BuildOptions, TradeoffParams};
+use mpc_spanners::graph::generators::geometric_euclidean;
+use mpc_spanners::graph::verify::verify_spanner;
+
+fn main() {
+    let g = geometric_euclidean(2000, 0.045, 12345);
+    println!(
+        "road network: n = {}, m = {} (Euclidean weights, avg degree {:.1})\n",
+        g.n(),
+        g.m(),
+        2.0 * g.m() as f64 / g.n() as f64
+    );
+
+    println!("weighted spanners (Section 5, t = log k):");
+    for k in [2u32, 4, 8, 16] {
+        let r = general_spanner(&g, TradeoffParams::log_k(k), 5, BuildOptions::default());
+        let rep = verify_spanner(&g, &r.edges);
+        assert!(rep.all_edges_spanned);
+        println!(
+            "  k={k:>2}: kept {:>5} / {} edges ({:>4.1}%), worst detour {:>5.2}x, avg {:.2}x",
+            r.size(),
+            g.m(),
+            100.0 * r.size() as f64 / g.m() as f64,
+            rep.max_edge_stretch.max(1.0),
+            rep.avg_edge_stretch.max(1.0),
+        );
+    }
+
+    println!("\nunweighted topology spanners (Appendix B, O(k) stretch):");
+    let topo = g.unweighted_copy();
+    for k in [2u32, 3, 4] {
+        let (r, stats) =
+            unweighted_ok_spanner(&topo, k, UnweightedOkConfig::default(), 5);
+        let rep = verify_spanner(&topo, &r.edges);
+        assert!(rep.all_edges_spanned);
+        println!(
+            "  k={k}: kept {:>5} edges, hop stretch {:>4.1} (bound {:>5.1}), sparse/dense = {}/{}",
+            r.size(),
+            rep.max_edge_stretch,
+            r.stretch_bound,
+            stats.sparse,
+            stats.dense_assigned,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Scenario: approximate all-pairs distances on a *social-network-like*
+//! graph — the skewed-degree, web-scale workload that motivates the MPC
+//! literature (paper §1.1).
+//!
+//! A power-law (Chung–Lu) graph stands in for the social network. We
+//! run the paper's Section 7 pipeline — near-linear-memory MPC builds
+//! an `O(n log log n)`-edge spanner in `poly(log log n)` rounds, ships
+//! it to one machine, and that machine answers distance queries — and
+//! check the answers against exact Dijkstra.
+//!
+//! ```sh
+//! cargo run --release --example social_network_distances
+//! ```
+
+use mpc_spanners::apsp::{build_oracle, measure_approximation};
+use mpc_spanners::graph::generators::chung_lu_power_law;
+use mpc_spanners::graph::generators::WeightModel;
+use mpc_spanners::graph::shortest_paths::dijkstra;
+
+fn main() {
+    // "Interaction strength" weights: small = strong tie.
+    let g = chung_lu_power_law(3000, 14.0, 2.5, WeightModel::Uniform(1, 10), 99);
+    println!(
+        "social graph: n = {}, m = {}, max degree = {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    let oracle = build_oracle(&g, 7);
+    println!(
+        "oracle: {} spanner edges ({:.1}% of m), {} grow iterations, guarantee {:.1}x",
+        oracle.size(),
+        100.0 * oracle.size() as f64 / g.m() as f64,
+        oracle.iterations,
+        oracle.stretch_bound
+    );
+
+    // Spot-check a few "degrees of separation" queries.
+    let exact = dijkstra(&g, 0).dist;
+    for v in [100u32, 500, 1500, 2500] {
+        let approx = oracle.query(0, v);
+        println!(
+            "distance(user 0, user {v}): exact {} | oracle {} | ratio {:.2}",
+            exact[v as usize],
+            approx,
+            approx as f64 / exact[v as usize].max(1) as f64
+        );
+    }
+
+    // Aggregate quality over 30 random sources.
+    let rep = measure_approximation(&g, &oracle, 30, 1);
+    println!(
+        "\nover {} pairs: avg ratio {:.3}, max ratio {:.2} (guarantee {:.1})",
+        rep.pairs, rep.avg_ratio, rep.max_ratio, rep.guarantee
+    );
+    assert!(rep.max_ratio <= rep.guarantee);
+}

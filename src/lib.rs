@@ -1,0 +1,41 @@
+//! # mpc-spanners
+//!
+//! A full reproduction of *"Massively Parallel Algorithms for Distance
+//! Approximation and Spanners"* (Biswas, Dory, Ghaffari, Mitrović,
+//! Nazari — SPAA 2021, arXiv:2003.01254) as a Rust workspace.
+//!
+//! This facade crate re-exports the public surface of the workspace:
+//!
+//! * [`graph`] — graph substrate (CSR graphs, generators, exact
+//!   distances, spanner verification);
+//! * [`mpc`] — the MPC model simulator (machines, rounds, memory
+//!   accounting, Section 6 primitives);
+//! * [`core`] — the paper's spanner constructions (Baswana–Sen
+//!   baseline, §3 `√k`, §4 cluster merging, §5 general trade-off,
+//!   Appendix B unweighted `O(k)`), both sequential and distributed;
+//! * [`apsp`] — §7 distance approximation in near-linear MPC;
+//! * [`cc`] — §8 Congested Clique spanners and APSP;
+//! * [`pram`] — the PRAM work/depth extension.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpc_spanners::core::{general_spanner, BuildOptions, TradeoffParams};
+//! use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
+//! use mpc_spanners::graph::verify::verify_spanner;
+//!
+//! let g = connected_erdos_renyi(200, 0.05, WeightModel::Uniform(1, 16), 7);
+//! // Corollary 1.2(3): t = log k, stretch k^{1+o(1)} in O(log²k/loglog k) rounds.
+//! let params = TradeoffParams::log_k(8);
+//! let spanner = general_spanner(&g, params, 42, BuildOptions::default());
+//! let report = verify_spanner(&g, &spanner.edges);
+//! assert!(report.all_edges_spanned);
+//! assert!(report.max_edge_stretch <= spanner.stretch_bound);
+//! ```
+
+pub use congested_clique as cc;
+pub use mpc_runtime as mpc;
+pub use spanner_apsp as apsp;
+pub use spanner_core as core;
+pub use spanner_graph as graph;
+pub use spanner_pram as pram;

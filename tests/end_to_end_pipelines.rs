@@ -1,0 +1,68 @@
+//! End-to-end integration tests of the two application pipelines
+//! (Sections 7 and 8) against exact ground truth.
+
+use congested_clique::cc_apsp;
+use mpc_spanners::apsp::{build_oracle, measure_approximation, mpc_build_oracle};
+use mpc_spanners::graph::edge::INFINITY;
+use mpc_spanners::graph::generators::{Family, WeightModel};
+use mpc_spanners::graph::shortest_paths::dijkstra;
+
+#[test]
+fn mpc_apsp_pipeline_end_to_end() {
+    let g = Family::ErdosRenyi { n: 200, avg_deg: 10.0 }
+        .generate(WeightModel::PowersOfTwo(7), 0xEE);
+    let run = mpc_build_oracle(&g, 3).expect("near-linear run fits");
+    // Construction happened under enforced near-linear memory.
+    assert!(run.metrics.peak_machine_words <= run.config.capacity());
+    // Every query within guarantee.
+    let rep = measure_approximation(&g, &run.oracle, g.n(), 1);
+    assert!(rep.max_ratio <= rep.guarantee + 1e-9);
+    assert!(rep.avg_ratio >= 1.0 - 1e-12);
+    // And the in-model pipeline matches the plain one.
+    let plain = build_oracle(&g, 3);
+    assert_eq!(plain.spanner_edges, run.oracle.spanner_edges);
+}
+
+#[test]
+fn cc_apsp_pipeline_end_to_end() {
+    let g = Family::Torus { side: 14 }.generate(WeightModel::Uniform(1, 20), 0xCE);
+    let run = cc_apsp(&g, 11, Some(8));
+    // Every node's row respects the guarantee.
+    for s in [0u32, 55, 100] {
+        let exact = dijkstra(&g, s).dist;
+        let row = run.row(s);
+        for v in 0..g.n() {
+            if v as u32 != s && exact[v] != INFINITY {
+                assert!(row[v] >= exact[v]);
+                assert!(
+                    row[v] as f64 <= run.stretch_bound * exact[v] as f64 + 1e-6,
+                    "({s},{v}): {} vs {} x{}",
+                    row[v],
+                    exact[v],
+                    run.stretch_bound
+                );
+            }
+        }
+    }
+    // Rounds decompose into construction + dissemination.
+    assert_eq!(
+        run.total_rounds,
+        run.spanner_run.rounds + run.dissemination_rounds
+    );
+}
+
+#[test]
+fn oracle_handles_disconnected_graphs() {
+    let g = Family::ErdosRenyi { n: 150, avg_deg: 1.2 }
+        .generate(WeightModel::Uniform(1, 9), 0xDD);
+    let oracle = build_oracle(&g, 5);
+    let exact = dijkstra(&g, 0).dist;
+    let approx = oracle.distances_from(0);
+    for v in 0..g.n() {
+        assert_eq!(
+            exact[v] == INFINITY,
+            approx[v] == INFINITY,
+            "reachability must match exactly at {v}"
+        );
+    }
+}

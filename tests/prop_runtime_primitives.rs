@@ -1,0 +1,111 @@
+//! Property-based tests of the MPC runtime primitives against their
+//! sequential specifications: the distributed sort must agree with
+//! `slice::sort`, aggregation with a `BTreeMap` fold, scans with a
+//! prefix loop — for arbitrary data and arbitrary (valid) deployments —
+//! and the memory/bandwidth constraints must hold throughout (any
+//! violation surfaces as an `Err`, failing the test).
+
+use proptest::prelude::*;
+
+use mpc_spanners::mpc::{comm, primitives, Dist, MpcConfig, MpcSystem};
+
+fn deployment() -> impl Strategy<Value = MpcConfig> {
+    (64usize..512, 2usize..24, 4usize..8)
+        .prop_map(|(words, machines, slack)| MpcConfig::explicit(words, machines, slack))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sort_matches_sequential(
+        cfg in deployment(),
+        mut data in proptest::collection::vec(0u64..5000, 0..600),
+    ) {
+        let mut sys = MpcSystem::new(cfg);
+        if let Ok(d) = Dist::distribute(&mut sys, data.clone()) {
+            let sorted = primitives::sort_by_key(&mut sys, d, "sort", |&x| x)
+                .expect("sort within constraints");
+            let flat = sorted.collect_out_of_model();
+            data.sort();
+            prop_assert_eq!(flat, data);
+            // Balanced output: every machine within ceil(n/p).
+            let q = sorted.len().div_ceil(cfg.num_machines).max(1);
+            for shard in sorted.shards() {
+                prop_assert!(shard.len() <= q);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_btreemap_fold(
+        cfg in deployment(),
+        data in proptest::collection::vec((0u64..40, 0u64..10_000), 0..500),
+    ) {
+        let mut sys = MpcSystem::new(cfg);
+        if let Ok(d) = Dist::distribute(&mut sys, data.clone()) {
+            let agg = primitives::aggregate_by_key(
+                &mut sys, d, "agg", |r| r.0, |r| r.1, |a, b| *a.min(b),
+            ).expect("aggregate within constraints");
+            let mut got = agg.collect_out_of_model();
+            got.sort();
+            let mut expect: std::collections::BTreeMap<u64, u64> = Default::default();
+            for (k, v) in data {
+                expect.entry(k).and_modify(|m| *m = (*m).min(v)).or_insert(v);
+            }
+            let expect: Vec<(u64, u64)> = expect.into_iter().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn machine_scan_matches_prefix_loop(
+        cfg in deployment(),
+        seedvals in proptest::collection::vec(0u64..1000, 0..24),
+    ) {
+        // One summary per machine; pad/truncate to the machine count.
+        let mut vals = seedvals;
+        vals.resize(cfg.num_machines, 7);
+        let mut sys = MpcSystem::new(cfg);
+        let scanned = comm::machine_scan(&mut sys, vals.clone(), 0, "scan", |a, b| a + b)
+            .expect("scan within constraints");
+        let mut acc = 0u64;
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(scanned[i], acc);
+            acc += v;
+        }
+    }
+
+    #[test]
+    fn reduce_tree_matches_fold(
+        cfg in deployment(),
+        seedvals in proptest::collection::vec(0u64..1_000_000, 0..24),
+    ) {
+        let mut vals = seedvals;
+        vals.resize(cfg.num_machines, u64::MAX);
+        let mut sys = MpcSystem::new(cfg);
+        let got = comm::reduce_tree(&mut sys, vals.clone(), "min", |a, b| *a.min(b))
+            .expect("reduce within constraints");
+        prop_assert_eq!(got, vals.into_iter().min().unwrap());
+    }
+
+    #[test]
+    fn route_conserves_records(
+        cfg in deployment(),
+        data in proptest::collection::vec(0u64..10_000, 0..300),
+    ) {
+        let mut sys = MpcSystem::new(cfg);
+        let p = cfg.num_machines;
+        if let Ok(d) = Dist::distribute(&mut sys, data.clone()) {
+            if let Ok(routed) = comm::route(&mut sys, d, "route", move |&x, _| {
+                (primitives::splitmix64(x) % p as u64) as usize
+            }) {
+                let mut flat = routed.collect_out_of_model();
+                flat.sort();
+                let mut expect = data;
+                expect.sort();
+                prop_assert_eq!(flat, expect);
+            }
+        }
+    }
+}
