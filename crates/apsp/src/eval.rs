@@ -38,7 +38,12 @@ pub fn measure_approximation(
     use rand::prelude::*;
     let n = g.n();
     if n == 0 {
-        return ApproxReport { max_ratio: 1.0, avg_ratio: 1.0, pairs: 0, guarantee: oracle.stretch_bound };
+        return ApproxReport {
+            max_ratio: 1.0,
+            avg_ratio: 1.0,
+            pairs: 0,
+            guarantee: oracle.stretch_bound,
+        };
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let srcs: Vec<u32> = if sources >= n {

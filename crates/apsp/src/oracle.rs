@@ -134,7 +134,12 @@ pub fn mpc_build_oracle(g: &Graph, seed: u64) -> mpc_runtime::Result<MpcApspRun>
         stretch_bound: run.result.stretch_bound,
         iterations: run.result.iterations,
     };
-    Ok(MpcApspRun { oracle, metrics, config, gather_rounds })
+    Ok(MpcApspRun {
+        oracle,
+        metrics,
+        config,
+        gather_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -187,7 +192,12 @@ mod tests {
         let g = generators::connected_erdos_renyi(400, 0.2, WeightModel::Unit, 11);
         let oracle = build_oracle(&g, 13);
         // O(n log log n) with a generous constant; certainly o(m) here.
-        assert!(oracle.size() < g.m() / 2, "oracle {} vs m {}", oracle.size(), g.m());
+        assert!(
+            oracle.size() < g.m() / 2,
+            "oracle {} vs m {}",
+            oracle.size(),
+            g.m()
+        );
     }
 
     #[test]

@@ -105,8 +105,7 @@ impl DistanceSketches {
         // on a super-source.) For the verification sizes used here we
         // run one Dijkstra per landmark and take minima — simple and
         // exact, parallelised.
-        let mut pivots: Vec<Vec<(u32, Distance)>> =
-            vec![vec![(u32::MAX, INFINITY); lam]; n];
+        let mut pivots: Vec<Vec<(u32, Distance)>> = vec![vec![(u32::MAX, INFINITY); lam]; n];
         for v in 0..n {
             pivots[v][0] = (v as u32, 0);
         }
@@ -164,12 +163,19 @@ impl DistanceSketches {
                     }
                     // w ∈ A_i \ A_{i+1}: include iff strictly closer
                     // than the next-level pivot (or no next level).
-                    let nxt = if i + 1 < lam { pivots[v][i + 1].1 } else { INFINITY };
+                    let nxt = if i + 1 < lam {
+                        pivots[v][i + 1].1
+                    } else {
+                        INFINITY
+                    };
                     if d < nxt {
                         bunch.insert(w as u32, d);
                     }
                 }
-                VertexSketch { pivots: pivots[v].clone(), bunch }
+                VertexSketch {
+                    pivots: pivots[v].clone(),
+                    bunch,
+                }
             })
             .collect();
 
@@ -255,12 +261,8 @@ pub fn evaluate_sketches(
     sources: usize,
     seed: u64,
 ) -> SketchReport {
-    let sk = DistanceSketches::preprocess_with_substrate(
-        substrate,
-        levels,
-        seed,
-        substrate_stretch,
-    );
+    let sk =
+        DistanceSketches::preprocess_with_substrate(substrate, levels, seed, substrate_stretch);
     use rand::prelude::*;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
     let n = g.n() as u32;

@@ -10,8 +10,8 @@ fn bench_oracle_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("apsp_oracle_build");
     for n in [512usize, 2048] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let g = Family::ErdosRenyi { n, avg_deg: 12.0 }
-                .generate(WeightModel::PowersOfTwo(8), 0xA0);
+            let g =
+                Family::ErdosRenyi { n, avg_deg: 12.0 }.generate(WeightModel::PowersOfTwo(8), 0xA0);
             b.iter(|| build_oracle(&g, 1))
         });
     }
@@ -19,8 +19,11 @@ fn bench_oracle_build(c: &mut Criterion) {
 }
 
 fn bench_query(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
-        .generate(WeightModel::PowersOfTwo(8), 0xA0);
+    let g = Family::ErdosRenyi {
+        n: 2048,
+        avg_deg: 12.0,
+    }
+    .generate(WeightModel::PowersOfTwo(8), 0xA0);
     let oracle = build_oracle(&g, 1);
     c.bench_function("apsp_oracle_sssp_query", |b| {
         b.iter(|| oracle.distances_from(7))

@@ -7,8 +7,11 @@ use spanner_core::TradeoffParams;
 use spanner_graph::generators::{Family, WeightModel};
 
 fn bench_cc_spanner(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 512, avg_deg: 10.0 }
-        .generate(WeightModel::Uniform(1, 32), 0xCC);
+    let g = Family::ErdosRenyi {
+        n: 512,
+        avg_deg: 10.0,
+    }
+    .generate(WeightModel::Uniform(1, 32), 0xCC);
     let params = TradeoffParams::new(8, 2);
     let mut group = c.benchmark_group("cc_spanner");
     for reps in [1usize, 9] {
@@ -20,8 +23,11 @@ fn bench_cc_spanner(c: &mut Criterion) {
 }
 
 fn bench_cc_apsp(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 256, avg_deg: 10.0 }
-        .generate(WeightModel::Uniform(1, 16), 0xCD);
+    let g = Family::ErdosRenyi {
+        n: 256,
+        avg_deg: 10.0,
+    }
+    .generate(WeightModel::Uniform(1, 16), 0xCD);
     c.bench_function("cc_apsp_n256", |b| b.iter(|| cc_apsp(&g, 1, Some(4))));
 }
 

@@ -31,17 +31,18 @@ fn bench_aggregate(c: &mut Criterion) {
         b.iter(|| {
             let mut sys = MpcSystem::new(cfg);
             let d = Dist::distribute(&mut sys, data.clone()).unwrap();
-            primitives::aggregate_by_key(&mut sys, d, "agg", |r| r.0, |r| r.1, |a, b| {
-                *a.min(b)
-            })
-            .unwrap()
+            primitives::aggregate_by_key(&mut sys, d, "agg", |r| r.0, |r| r.1, |a, b| *a.min(b))
+                .unwrap()
         })
     });
 }
 
 fn bench_driver(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 1024, avg_deg: 8.0 }
-        .generate(WeightModel::Uniform(1, 32), 0xB3);
+    let g = Family::ErdosRenyi {
+        n: 1024,
+        avg_deg: 8.0,
+    }
+    .generate(WeightModel::Uniform(1, 32), 0xB3);
     let input_words = 4 * g.m() + 2 * g.n() + 64;
     let cfg = MpcConfig::explicit(2048, input_words.div_ceil(2048).max(2), 8);
     c.bench_function("mpc_driver_k8_t3_n1024", |b| {

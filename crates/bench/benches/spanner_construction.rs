@@ -11,8 +11,11 @@ use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
 use spanner_graph::generators::{Family, WeightModel};
 
 fn bench_algorithms(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
-        .generate(WeightModel::PowersOfTwo(8), 0xB0);
+    let g = Family::ErdosRenyi {
+        n: 2048,
+        avg_deg: 12.0,
+    }
+    .generate(WeightModel::PowersOfTwo(8), 0xB0);
     let k = 16u32;
 
     let mut group = c.benchmark_group("spanner_construction");
@@ -32,8 +35,11 @@ fn bench_algorithms(c: &mut Criterion) {
 }
 
 fn bench_k_scaling(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 2048, avg_deg: 12.0 }
-        .generate(WeightModel::Uniform(1, 64), 0xB1);
+    let g = Family::ErdosRenyi {
+        n: 2048,
+        avg_deg: 12.0,
+    }
+    .generate(WeightModel::Uniform(1, 64), 0xB1);
     let mut group = c.benchmark_group("general_spanner_k");
     for k in [4u32, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
@@ -44,9 +50,12 @@ fn bench_k_scaling(c: &mut Criterion) {
 }
 
 fn bench_unweighted_ok(c: &mut Criterion) {
-    let g = Family::ErdosRenyi { n: 1024, avg_deg: 10.0 }
-        .generate(WeightModel::Unit, 0xB2)
-        .unweighted_copy();
+    let g = Family::ErdosRenyi {
+        n: 1024,
+        avg_deg: 10.0,
+    }
+    .generate(WeightModel::Unit, 0xB2)
+    .unweighted_copy();
     c.bench_function("unweighted_ok_k3", |b| {
         b.iter(|| unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 1))
     });

@@ -14,9 +14,16 @@ use spanner_graph::generators::{Family, WeightModel};
 
 fn main() {
     println!("# A2 — parallel repetition (Theorem 8.1 amplification)\n");
-    let g = Family::ErdosRenyi { n: 512, avg_deg: 14.0 }
-        .generate(WeightModel::Uniform(1, 32), 0xA2);
-    println!("workload er(n={}, m={}), k=4, t=2, 24 seeds\n", g.n(), g.m());
+    let g = Family::ErdosRenyi {
+        n: 512,
+        avg_deg: 14.0,
+    }
+    .generate(WeightModel::Uniform(1, 32), 0xA2);
+    println!(
+        "workload er(n={}, m={}), k=4, t=2, 24 seeds\n",
+        g.n(),
+        g.m()
+    );
     let params = TradeoffParams::new(4, 2);
     let seeds: Vec<u64> = (0..24).collect();
 
@@ -29,7 +36,10 @@ fn main() {
         "mean cc rounds",
     ]);
     for reps in [1usize, 4, 9] {
-        let runs: Vec<_> = seeds.iter().map(|&s| cc_spanner(&g, params, s, reps)).collect();
+        let runs: Vec<_> = seeds
+            .iter()
+            .map(|&s| cc_spanner(&g, params, s, reps))
+            .collect();
         let sizes: Vec<usize> = runs.iter().map(|r| r.result.size()).collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let max = *sizes.iter().max().unwrap();

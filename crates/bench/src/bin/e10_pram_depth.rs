@@ -4,8 +4,8 @@
 
 use spanner_bench::table::{f2, Table};
 use spanner_bench::workloads;
-use spanner_pram::pram_general_spanner;
 use spanner_core::TradeoffParams;
+use spanner_pram::pram_general_spanner;
 
 fn main() {
     println!("# E10 — PRAM depth (CRCW, log* n primitives)\n");

@@ -40,7 +40,12 @@ fn main() {
             f2(full.guarantee),
         ]);
         // (b) preprocess on a k=4 spanner.
-        let sp = general_spanner(&g, TradeoffParams::new(4, 2), 0xE11, BuildOptions::default());
+        let sp = general_spanner(
+            &g,
+            TradeoffParams::new(4, 2),
+            0xE11,
+            BuildOptions::default(),
+        );
         let sub = g.edge_subgraph(&sp.edges);
         let rep = evaluate_sketches(&g, &sub, sp.stretch_bound, lambda, 12, 0xE11);
         t.row(vec![

@@ -12,7 +12,11 @@ use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
 fn main() {
     println!("# E4 — Theorem 5.15 trade-off curve\n");
     let g = workloads::default_er(1024);
-    println!("workload er(n={}, m={}), weighted (powers of two)\n", g.n(), g.m());
+    println!(
+        "workload er(n={}, m={}), weighted (powers of two)\n",
+        g.n(),
+        g.m()
+    );
     for k in [16u32, 64] {
         println!("## k = {k}\n");
         let mut table = Table::new(&[

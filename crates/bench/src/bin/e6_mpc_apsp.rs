@@ -25,8 +25,7 @@ fn main() {
         "guarantee",
     ]);
     for n in [256usize, 512, 1024] {
-        let g = Family::ErdosRenyi { n, avg_deg: 12.0 }
-            .generate(WeightModel::PowersOfTwo(8), 0xE6);
+        let g = Family::ErdosRenyi { n, avg_deg: 12.0 }.generate(WeightModel::PowersOfTwo(8), 0xE6);
         let params = spanner_apsp::oracle::apsp_params(n);
         let run = mpc_build_oracle(&g, 0x6E).expect("in-model APSP");
         let rep = measure_approximation(&g, &run.oracle, 24, 6);

@@ -6,10 +6,10 @@
 use congested_clique::{cc_apsp, cc_spanner};
 use spanner_bench::table::{f2, Table};
 use spanner_bench::{measure, size_baseline};
+use spanner_core::TradeoffParams;
 use spanner_graph::edge::INFINITY;
 use spanner_graph::generators::{Family, WeightModel};
 use spanner_graph::shortest_paths::dijkstra;
-use spanner_core::TradeoffParams;
 
 fn main() {
     println!("# E7 — Section 8 (Congested Clique)\n");
@@ -28,8 +28,7 @@ fn main() {
     ]);
     let params = TradeoffParams::new(8, 2);
     for n in [256usize, 512, 1024] {
-        let g = Family::ErdosRenyi { n, avg_deg: 10.0 }
-            .generate(WeightModel::Uniform(1, 64), 0xE7);
+        let g = Family::ErdosRenyi { n, avg_deg: 10.0 }.generate(WeightModel::Uniform(1, 64), 0xE7);
         for reps in [1usize, ((n as f64).log2().ceil() as usize).min(32)] {
             let run = cc_spanner(&g, params, 0x7E, reps);
             let m = measure(&g, &run.result.edges, 16, 7);
@@ -58,8 +57,8 @@ fn main() {
         "guarantee",
     ]);
     for n in [256usize, 512] {
-        let g = Family::ErdosRenyi { n, avg_deg: 10.0 }
-            .generate(WeightModel::PowersOfTwo(6), 0x7E7);
+        let g =
+            Family::ErdosRenyi { n, avg_deg: 10.0 }.generate(WeightModel::PowersOfTwo(6), 0x7E7);
         let run = cc_apsp(&g, 0x57, None);
         // Measure ratios over a handful of rows.
         let mut max_ratio = 1.0f64;

@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Appends a row (must match the header arity).

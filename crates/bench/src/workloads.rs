@@ -7,10 +7,28 @@ use spanner_graph::Graph;
 /// The standard weighted workload battery (verification-sized).
 pub fn weighted_battery() -> Vec<(String, Graph)> {
     let families = [
-        (Family::ErdosRenyi { n: 1024, avg_deg: 12.0 }, WeightModel::PowersOfTwo(10)),
-        (Family::Geometric { n: 1024, radius: 0.06 }, WeightModel::Unit), // Euclidean weights
+        (
+            Family::ErdosRenyi {
+                n: 1024,
+                avg_deg: 12.0,
+            },
+            WeightModel::PowersOfTwo(10),
+        ),
+        (
+            Family::Geometric {
+                n: 1024,
+                radius: 0.06,
+            },
+            WeightModel::Unit,
+        ), // Euclidean weights
         (Family::Torus { side: 32 }, WeightModel::Uniform(1, 64)),
-        (Family::PowerLaw { n: 1024, avg_deg: 10.0 }, WeightModel::Uniform(1, 64)),
+        (
+            Family::PowerLaw {
+                n: 1024,
+                avg_deg: 10.0,
+            },
+            WeightModel::Uniform(1, 64),
+        ),
     ];
     families
         .iter()
@@ -29,13 +47,27 @@ pub fn weighted_battery() -> Vec<(String, Graph)> {
 /// comparisons).
 pub fn unweighted_battery() -> Vec<(String, Graph)> {
     [
-        Family::ErdosRenyi { n: 1024, avg_deg: 10.0 },
+        Family::ErdosRenyi {
+            n: 1024,
+            avg_deg: 10.0,
+        },
         Family::Hypercube { d: 10 },
-        Family::PowerLaw { n: 1024, avg_deg: 8.0 },
-        Family::CliqueChain { cliques: 32, size: 16 },
+        Family::PowerLaw {
+            n: 1024,
+            avg_deg: 8.0,
+        },
+        Family::CliqueChain {
+            cliques: 32,
+            size: 16,
+        },
     ]
     .iter()
-    .map(|f| (f.name(), f.generate(WeightModel::Unit, 0xFEED).unweighted_copy()))
+    .map(|f| {
+        (
+            f.name(),
+            f.generate(WeightModel::Unit, 0xFEED).unweighted_copy(),
+        )
+    })
     .collect()
 }
 

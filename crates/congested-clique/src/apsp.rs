@@ -52,8 +52,7 @@ pub fn cc_apsp_params(n: usize) -> TradeoffParams {
 pub fn cc_apsp(g: &Graph, seed: u64, repetitions: Option<usize>) -> CcApspRun {
     let n = g.n().max(2);
     let params = cc_apsp_params(n);
-    let reps = repetitions
-        .unwrap_or(((n as f64).log2().ceil() as usize).clamp(1, 64));
+    let reps = repetitions.unwrap_or(((n as f64).log2().ceil() as usize).clamp(1, 64));
     let spanner_run = cc_spanner(g, params, seed, reps);
 
     // Disseminate: |E_S| edges of 4 words each must reach every node.
@@ -63,7 +62,13 @@ pub fn cc_apsp(g: &Graph, seed: u64, repetitions: Option<usize>) -> CcApspRun {
 
     let spanner = g.edge_subgraph(&spanner_run.result.edges);
     let stretch_bound = spanner_run.result.stretch_bound;
-    CcApspRun { spanner_run, dissemination_rounds, total_rounds, spanner, stretch_bound }
+    CcApspRun {
+        spanner_run,
+        dissemination_rounds,
+        total_rounds,
+        spanner,
+        stretch_bound,
+    }
 }
 
 #[cfg(test)]
@@ -95,9 +100,7 @@ mod tests {
     fn dissemination_rounds_scale_with_spanner_size() {
         let g = generators::connected_erdos_renyi(128, 0.15, WeightModel::Unit, 5);
         let run = cc_apsp(&g, 9, Some(4));
-        let expected = (4 * run.spanner_run.result.size())
-            .div_ceil(g.n() - 1) as u64
-            + 2;
+        let expected = (4 * run.spanner_run.result.size()).div_ceil(g.n() - 1) as u64 + 2;
         assert_eq!(run.dissemination_rounds, expected);
         assert!(run.total_rounds > run.dissemination_rounds);
     }

@@ -29,7 +29,13 @@ pub struct CcNetwork {
 impl CcNetwork {
     /// A fresh clique on `n` nodes with 1-word messages.
     pub fn new(n: usize) -> Self {
-        CcNetwork { n, b_words: 1, rounds: 0, total_words: 0, lenzen_constant: 2 }
+        CcNetwork {
+            n,
+            b_words: 1,
+            rounds: 0,
+            total_words: 0,
+            lenzen_constant: 2,
+        }
     }
 
     /// Rounds executed so far.

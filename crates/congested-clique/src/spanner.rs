@@ -73,10 +73,7 @@ pub fn cc_spanner(
     );
     let n = g.n();
     let mut net = CcNetwork::new(n.max(2));
-    let algorithm = format!(
-        "cc-spanner(k={},t={},R={repetitions})",
-        params.k, params.t
-    );
+    let algorithm = format!("cc-spanner(k={},t={},R={repetitions})", params.k, params.t);
 
     if params.k == 1 || g.m() == 0 {
         let result = SpannerResult {
@@ -122,8 +119,7 @@ pub fn cc_spanner(
                 let mut trial = engine.clone();
                 trial.set_seed(run_seed(seed, r));
                 let stats = trial.run_iteration(p, epoch, iter);
-                let within = (stats.sampled_clusters as f64)
-                    <= (2.0 * expected_sampled + 2.0);
+                let within = (stats.sampled_clusters as f64) <= (2.0 * expected_sampled + 2.0);
                 let cand = (stats.edges_added, r, stats.max_candidates_per_cluster);
                 if within && best.map_or(true, |b| cand < b) {
                     best = Some(cand);
@@ -132,8 +128,7 @@ pub fn cc_spanner(
                     fallback = Some(cand);
                 }
             }
-            let (_, chosen, max_fanin) =
-                best.or(fallback).expect("at least one repetition ran");
+            let (_, chosen, max_fanin) = best.or(fallback).expect("at least one repetition ran");
             chosen_runs.push(chosen);
 
             // (d) Tallies to the R collectors and the collectors'

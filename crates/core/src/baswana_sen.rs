@@ -149,12 +149,12 @@ pub fn baswana_sen(g: &Graph, k: u32, seed: u64) -> SpannerResult {
         }
 
         // Remove edges that became intra-cluster or lost an endpoint.
-        live.retain(|&(u, v, _, _)| {
-            match (cluster_of[u as usize], cluster_of[v as usize]) {
+        live.retain(
+            |&(u, v, _, _)| match (cluster_of[u as usize], cluster_of[v as usize]) {
                 (Some(cu), Some(cv)) => cu != cv,
                 _ => false,
-            }
-        });
+            },
+        );
     }
 
     // Phase 2: min edge per (vertex, neighbouring cluster).

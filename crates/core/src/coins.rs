@@ -40,10 +40,7 @@ mod tests {
     #[test]
     fn coin_is_deterministic() {
         for c in 0..100 {
-            assert_eq!(
-                cluster_coin(7, 1, 2, c, 0.5),
-                cluster_coin(7, 1, 2, c, 0.5)
-            );
+            assert_eq!(cluster_coin(7, 1, 2, c, 0.5), cluster_coin(7, 1, 2, c, 0.5));
         }
     }
 

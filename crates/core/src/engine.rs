@@ -111,11 +111,22 @@ impl<'g> Engine<'g> {
             .edges()
             .iter()
             .enumerate()
-            .map(|(id, e)| LiveEdge { a: e.u, b: e.v, w: e.w, id: id as EdgeId })
+            .map(|(id, e)| LiveEdge {
+                a: e.u,
+                b: e.v,
+                w: e.w,
+                id: id as EdgeId,
+            })
             .collect();
         let mut clusters = BTreeMap::new();
         for v in 0..n as u32 {
-            clusters.insert(v, ClusterData { members: vec![v], conn: vec![] });
+            clusters.insert(
+                v,
+                ClusterData {
+                    members: vec![v],
+                    conn: vec![],
+                },
+            );
         }
         Engine {
             g,
@@ -272,7 +283,9 @@ impl<'g> Engine<'g> {
             }
         }
         for &(v, cstar, id) in &joins {
-            let entry = new_clusters.get_mut(&cstar).expect("join target is sampled");
+            let entry = new_clusters
+                .get_mut(&cstar)
+                .expect("join target is sampled");
             entry.members.push(v);
             entry.conn.push(id);
             self.cluster_of[v as usize] = cstar;
@@ -359,7 +372,15 @@ impl<'g> Engine<'g> {
         let centres: Vec<u32> = self.clusters.keys().copied().collect();
         self.clusters = centres
             .iter()
-            .map(|&c| (c, ClusterData { members: vec![c], conn: vec![] }))
+            .map(|&c| {
+                (
+                    c,
+                    ClusterData {
+                        members: vec![c],
+                        conn: vec![],
+                    },
+                )
+            })
             .collect();
         for &c in &centres {
             self.cluster_of[c as usize] = c;
@@ -476,7 +497,11 @@ impl<'g> Engine<'g> {
         for qe in graph.edges() {
             edge_origin.push(origin[&(qe.u, qe.v)]);
         }
-        QuotientGraph { graph, edge_origin, centres }
+        QuotientGraph {
+            graph,
+            edge_origin,
+            centres,
+        }
     }
 
     /// Finalises into a [`SpannerResult`].
@@ -633,8 +658,7 @@ mod tests {
         let g = generators::caterpillar(1, 5, WeightModel::Unit, 0);
         for seed in 0..200 {
             let sampled0 = cluster_coin(seed, 1, 1, 0, 0.3);
-            let leaves_unsampled =
-                (1..6).all(|v| !cluster_coin(seed, 1, 1, v, 0.3));
+            let leaves_unsampled = (1..6).all(|v| !cluster_coin(seed, 1, 1, v, 0.3));
             if sampled0 && leaves_unsampled {
                 let mut e = Engine::new(&g, seed);
                 e.track_radii = true;

@@ -205,11 +205,20 @@ mod tests {
     #[test]
     fn all_families_produce_valid_spanners() {
         for fam in [
-            Family::ErdosRenyi { n: 120, avg_deg: 8.0 },
+            Family::ErdosRenyi {
+                n: 120,
+                avg_deg: 8.0,
+            },
             Family::Torus { side: 10 },
             Family::Hypercube { d: 7 },
-            Family::PowerLaw { n: 120, avg_deg: 6.0 },
-            Family::CliqueChain { cliques: 6, size: 6 },
+            Family::PowerLaw {
+                n: 120,
+                avg_deg: 6.0,
+            },
+            Family::CliqueChain {
+                cliques: 6,
+                size: 6,
+            },
         ] {
             let g = fam.generate(WeightModel::Uniform(1, 32), 17);
             check(&g, TradeoffParams::new(8, 3), 23);
@@ -220,8 +229,12 @@ mod tests {
     fn best_of_is_no_larger_than_single() {
         let g = generators::connected_erdos_renyi(150, 0.1, WeightModel::Unit, 19);
         let params = TradeoffParams::new(4, 2);
-        let single =
-            general_spanner(&g, params, crate::coins::splitmix64(77), BuildOptions::default());
+        let single = general_spanner(
+            &g,
+            params,
+            crate::coins::splitmix64(77),
+            BuildOptions::default(),
+        );
         let best = best_of(&g, params, 77, 5, BuildOptions::default());
         assert!(best.size() <= single.size());
     }

@@ -103,7 +103,11 @@ pub fn mpc_general_spanner_with_config(
             supernodes_per_epoch: vec![],
             algorithm,
         };
-        return Ok(MpcSpannerRun { result, metrics: sys.metrics().clone(), config });
+        return Ok(MpcSpannerRun {
+            result,
+            metrics: sys.metrics().clone(),
+            config,
+        });
     }
 
     let n = g.n();
@@ -150,7 +154,11 @@ pub fn mpc_general_spanner_with_config(
         algorithm,
     };
     result.canonicalise();
-    Ok(MpcSpannerRun { result, metrics, config })
+    Ok(MpcSpannerRun {
+        result,
+        metrics,
+        config,
+    })
 }
 
 struct Driver {
@@ -206,7 +214,10 @@ impl Driver {
 
         // (1) Directed copies: [key, tag, other, w, id, cl_v, cl_other, 0].
         let copies: Dist<Rec> = self.edges.flat_map(&mut self.sys, |&(a, b, w, id)| {
-            [[a, 1, b, w, id, NONE, NONE, 0], [b, 1, a, w, id, NONE, NONE, 0]]
+            [
+                [a, 1, b, w, id, NONE, NONE, 0],
+                [b, 1, a, w, id, NONE, NONE, 0],
+            ]
         })?;
         // Join the owning super-node's label, then the neighbour's.
         let copies = self.join_label(copies, "iter.join_v", |r| r[0], |r, cl| r[5] = cl)?;
@@ -236,8 +247,9 @@ impl Driver {
             |a, b| if (a.2, a.3) <= (b.2, b.3) { *a } else { *b },
         )?;
         // Back to records: [v, 1, c, w, id, 0, 0, 0].
-        let cand_min: Dist<Rec> = min_per_pair
-            .map(&mut self.sys, |&(_, (v, c, w, id))| [v, 1, c, w, id, 0, 0, 0])?;
+        let cand_min: Dist<Rec> = min_per_pair.map(&mut self.sys, |&(_, (v, c, w, id))| {
+            [v, 1, c, w, id, 0, 0, 0]
+        })?;
 
         // (4) Nearest *sampled* cluster per super-node.
         let best_sampled = aggregate_by_key(
@@ -254,8 +266,8 @@ impl Driver {
             },
             |a, b| (*a).min(*b),
         )?;
-        let best_stream: Dist<Rec> = best_sampled
-            .map(&mut self.sys, |&(v, (w, id, c))| [v, 0, w, id, c, 0, 0, 0])?;
+        let best_stream: Dist<Rec> =
+            best_sampled.map(&mut self.sys, |&(v, (w, id, c))| [v, 0, w, id, c, 0, 0, 0])?;
         // Join the best onto every candidate of the same super-node.
         let stream = best_stream.union(&mut self.sys, &cand_min)?;
         let mut sorted = sort_by_key(&mut self.sys, stream, "iter.bestjoin", |r: &Rec| {
@@ -265,7 +277,13 @@ impl Driver {
             &mut self.sys,
             &mut sorted,
             "iter.bestjoin",
-            |r: &Rec| if r[1] == 0 { Some((r[0], r[2], r[3], r[4])) } else { None },
+            |r: &Rec| {
+                if r[1] == 0 {
+                    Some((r[0], r[2], r[3], r[4]))
+                } else {
+                    None
+                }
+            },
             |r: &mut Rec, &(v, w, id, c)| {
                 if r[0] == v {
                     r[5] = w;
@@ -294,7 +312,9 @@ impl Driver {
                 let (c, w, wstar, cstar) = (r[2], r[3], r[5], r[7]);
                 wstar == NONE || c == cstar || w < wstar
             })
-            .map(&mut self.sys, |r| [pair_key(r[0], r[2]), 0, 1, 0, 0, 0, 0, 0])?;
+            .map(&mut self.sys, |r| {
+                [pair_key(r[0], r[2]), 0, 1, 0, 0, 0, 0, 0]
+            })?;
 
         // Joins (v → c*, via id*): candidates where c == c*.
         let joins: Dist<LabelRec> = decided
@@ -309,9 +329,7 @@ impl Driver {
             [pair_key(r[0], r[6]), 1, r[0], r[2], r[3], r[4], 0, 0]
         })?;
         let stream = kills.union(&mut self.sys, &probes)?;
-        let mut sorted = sort_by_key(&mut self.sys, stream, "iter.kill", |r: &Rec| {
-            (r[0], r[1])
-        })?;
+        let mut sorted = sort_by_key(&mut self.sys, stream, "iter.kill", |r: &Rec| (r[0], r[1]))?;
         primitives::forward_fill(
             &mut self.sys,
             &mut sorted,
@@ -372,7 +390,9 @@ impl Driver {
             [a, 1, b, w, id, NONE, NONE, 0]
         })?;
         let recs = self.join_label(recs, op, |r| r[0], |r, cl| r[5] = cl)?;
-        let recs = recs.map(&mut self.sys, |r| [r[2], 1, r[0], r[3], r[4], r[5], NONE, 0])?;
+        let recs = recs.map(&mut self.sys, |r| {
+            [r[2], 1, r[0], r[3], r[4], r[5], NONE, 0]
+        })?;
         let recs = self.join_label(recs, op, |r| r[0], |r, cl| r[6] = cl)?;
         // Now [b, 1, a, w, id, cl_a, cl_b, 0]; drop intra-cluster (and
         // dangling: a retired endpoint has no label ⇒ NONE).
@@ -386,8 +406,7 @@ impl Driver {
                 |r: &Rec| (r[5].min(r[6]), r[5].max(r[6]), r[3], r[4]),
                 |a, b| if (a.2, a.3) <= (b.2, b.3) { *a } else { *b },
             )?;
-            self.edges =
-                contracted.map(&mut self.sys, |&(_, (a, b, w, id))| (a, b, w, id))?;
+            self.edges = contracted.map(&mut self.sys, |&(_, (a, b, w, id))| (a, b, w, id))?;
         } else {
             self.edges = recs
                 .filter(|r| r[5] != NONE && r[6] != NONE && r[5] != r[6])
@@ -422,7 +441,10 @@ impl Driver {
     /// what is left.
     fn phase2(&mut self) -> mpc_runtime::Result<()> {
         let copies: Dist<Rec> = self.edges.flat_map(&mut self.sys, |&(a, b, w, id)| {
-            [[a, 1, b, w, id, NONE, NONE, 0], [b, 1, a, w, id, NONE, NONE, 0]]
+            [
+                [a, 1, b, w, id, NONE, NONE, 0],
+                [b, 1, a, w, id, NONE, NONE, 0],
+            ]
         })?;
         let copies = self.join_label(copies, "p2.join", |r| r[2], |r, cl| r[6] = cl)?;
         let minimum = aggregate_by_key(

@@ -28,7 +28,10 @@ impl TradeoffParams {
     /// Panics if `k == 0`.
     pub fn new(k: u32, t: u32) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        TradeoffParams { k, t: t.clamp(1, k) }
+        TradeoffParams {
+            k,
+            t: t.clamp(1, k),
+        }
     }
 
     /// The Section 4 special case (`t = 1`).

@@ -73,12 +73,7 @@ impl CorollarySetting {
 }
 
 /// Runs the chosen Corollary 1.2 setting on `g`.
-pub fn corollary_spanner(
-    g: &Graph,
-    setting: CorollarySetting,
-    k: u32,
-    seed: u64,
-) -> SpannerResult {
+pub fn corollary_spanner(g: &Graph, setting: CorollarySetting, k: u32, seed: u64) -> SpannerResult {
     let params = setting.params(g.n(), k);
     let mut r = general_spanner(g, params, seed, BuildOptions::default());
     r.algorithm = format!("{} [k={},t={}]", setting.label(), params.k, params.t);

@@ -46,7 +46,11 @@ pub fn streaming_spanner(g: &Graph, params: TradeoffParams, seed: u64) -> Stream
             supernodes_per_epoch: vec![],
             algorithm: format!("streaming(k={},t={})", params.k, params.t),
         };
-        return StreamingRun { result, passes: 0, quoted_stretch_exponent: 1.0 };
+        return StreamingRun {
+            result,
+            passes: 0,
+            quoted_stretch_exponent: 1.0,
+        };
     }
     let mut engine = Engine::new(g, seed);
     let mut passes = 0u32;
@@ -87,7 +91,10 @@ mod tests {
         let run = streaming_spanner(&g, TradeoffParams::cluster_merging(k), 7);
         assert_eq!(run.passes, 4 + 1); // log2(16) grow passes + phase 2
         assert!((run.quoted_stretch_exponent - 3f64.log2()).abs() < 1e-12);
-        assert!(run.quoted_stretch_exponent < 5f64.log2(), "beats AGM12's k^log5");
+        assert!(
+            run.quoted_stretch_exponent < 5f64.log2(),
+            "beats AGM12's k^log5"
+        );
     }
 
     #[test]

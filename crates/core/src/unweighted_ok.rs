@@ -63,7 +63,11 @@ pub struct UnweightedOkConfig {
 
 impl Default for UnweightedOkConfig {
     fn default() -> Self {
-        UnweightedOkConfig { gamma: 0.5, ball_factor: 4.0, hitting_boost: 2.0 }
+        UnweightedOkConfig {
+            gamma: 0.5,
+            ball_factor: 4.0,
+            hitting_boost: 2.0,
+        }
     }
 }
 
@@ -256,16 +260,16 @@ pub fn unweighted_ok_spanner(
     if !aux.is_empty() {
         // Compact Z for the Graph type.
         let z_ids: Vec<u32> = {
-            let mut s: Vec<u32> = aux
-                .keys()
-                .flat_map(|&(a, b)| [a, b])
-                .collect();
+            let mut s: Vec<u32> = aux.keys().flat_map(|&(a, b)| [a, b]).collect();
             s.sort_unstable();
             s.dedup();
             s
         };
-        let index: HashMap<u32, u32> =
-            z_ids.iter().enumerate().map(|(i, &z)| (z, i as u32)).collect();
+        let index: HashMap<u32, u32> = z_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| (z, i as u32))
+            .collect();
         let mut hb = GraphBuilder::new(z_ids.len());
         for &(z1, z2) in aux.keys() {
             hb.add_edge(index[&z1], index[&z2], 1);
@@ -321,7 +325,12 @@ mod tests {
     use spanner_graph::generators::{self, WeightModel};
     use spanner_graph::verify::verify_spanner;
 
-    fn check(g: &Graph, k: u32, cfg: UnweightedOkConfig, seed: u64) -> (SpannerResult, UnweightedOkStats) {
+    fn check(
+        g: &Graph,
+        k: u32,
+        cfg: UnweightedOkConfig,
+        seed: u64,
+    ) -> (SpannerResult, UnweightedOkStats) {
         let (r, stats) = unweighted_ok_spanner(g, k, cfg, seed);
         spanner_graph::verify::assert_valid_edge_ids(g, &r.edges);
         let rep = verify_spanner(g, &r.edges);
@@ -339,7 +348,11 @@ mod tests {
     fn sparse_only_graph_reduces_to_baswana_sen_edges() {
         // A bounded-degree graph with generous cap: everything sparse.
         let g = generators::torus(10, 10, WeightModel::Unit, 0);
-        let cfg = UnweightedOkConfig { gamma: 0.9, ball_factor: 100.0, ..Default::default() };
+        let cfg = UnweightedOkConfig {
+            gamma: 0.9,
+            ball_factor: 100.0,
+            ..Default::default()
+        };
         let (r, stats) = check(&g, 3, cfg, 5);
         assert_eq!(stats.dense_assigned, 0);
         assert_eq!(stats.sparse, g.n());
@@ -352,7 +365,11 @@ mod tests {
         // A star forces the hub (and its leaves, whose balls include the
         // hub's edges) to be dense under a small cap.
         let g = generators::caterpillar(2, 200, WeightModel::Unit, 0);
-        let cfg = UnweightedOkConfig { gamma: 0.3, ball_factor: 1.0, ..Default::default() };
+        let cfg = UnweightedOkConfig {
+            gamma: 0.3,
+            ball_factor: 1.0,
+            ..Default::default()
+        };
         let (_r, stats) = check(&g, 2, cfg, 7);
         assert!(
             stats.dense_assigned + stats.fallbacks > 0,
@@ -370,8 +387,8 @@ mod tests {
 
     #[test]
     fn stretch_holds_on_power_law() {
-        let g = generators::chung_lu_power_law(400, 8.0, 2.5, WeightModel::Unit, 5)
-            .unweighted_copy();
+        let g =
+            generators::chung_lu_power_law(400, 8.0, 2.5, WeightModel::Unit, 5).unweighted_copy();
         check(&g, 3, UnweightedOkConfig::default(), 13);
     }
 
@@ -380,8 +397,8 @@ mod tests {
         let g = generators::connected_erdos_renyi(400, 0.05, WeightModel::Unit, 9);
         let k = 3u32;
         let (r, _) = check(&g, k, UnweightedOkConfig::default(), 15);
-        let bound = k as f64 * (g.n() as f64).powf(1.0 + 1.0 / k as f64)
-            + 2.0 * k as f64 * g.n() as f64; // BS part + dense paths
+        let bound =
+            k as f64 * (g.n() as f64).powf(1.0 + 1.0 / k as f64) + 2.0 * k as f64 * g.n() as f64; // BS part + dense paths
         assert!(
             (r.size() as f64) <= 3.0 * bound,
             "size {} vs envelope {bound}",

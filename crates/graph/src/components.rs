@@ -75,7 +75,9 @@ pub fn component_labels(g: &Graph) -> Vec<u32> {
             label[r] = v;
         }
     }
-    (0..g.n() as u32).map(|v| label[uf.find(v) as usize]).collect()
+    (0..g.n() as u32)
+        .map(|v| label[uf.find(v) as usize])
+        .collect()
 }
 
 /// Number of connected components.

@@ -57,7 +57,11 @@ pub fn erdos_renyi(n: usize, p: f64, weights: WeightModel, seed: u64) -> Graph {
         let n = n as i64;
         while v < n {
             let r: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);
-            let skip = if p >= 1.0 { 1.0 } else { (r.ln() / ln_q).floor() + 1.0 };
+            let skip = if p >= 1.0 {
+                1.0
+            } else {
+                (r.ln() / ln_q).floor() + 1.0
+            };
             w += skip as i64;
             while w >= v && v < n {
                 w -= v;
@@ -230,7 +234,10 @@ pub fn chung_lu_power_law(
     weights: WeightModel,
     seed: u64,
 ) -> Graph {
-    assert!(beta > 2.0, "Chung–Lu requires beta > 2 for bounded avg degree");
+    assert!(
+        beta > 2.0,
+        "Chung–Lu requires beta > 2 for bounded avg degree"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let exp = -1.0 / (beta - 1.0);
     let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exp)).collect();
@@ -332,11 +339,19 @@ pub fn clique_chain(c: usize, s: usize, weights: WeightModel, seed: u64) -> Grap
         let base = ci * s;
         for a in 0..s {
             for bb in (a + 1)..s {
-                b.add_edge((base + a) as u32, (base + bb) as u32, weights.sample(&mut rng));
+                b.add_edge(
+                    (base + a) as u32,
+                    (base + bb) as u32,
+                    weights.sample(&mut rng),
+                );
             }
         }
         if ci + 1 < c {
-            b.add_edge((base + s - 1) as u32, (base + s) as u32, weights.sample(&mut rng));
+            b.add_edge(
+                (base + s - 1) as u32,
+                (base + s) as u32,
+                weights.sample(&mut rng),
+            );
         }
     }
     b.build()
@@ -349,13 +364,7 @@ pub fn clique_chain(c: usize, s: usize, weights: WeightModel, seed: u64) -> Grap
 /// from a hub have tiny `O(hops)`-size balls (sparse), while hubs and
 /// anything within a few hops of them see `Ω(spokes)`-size balls
 /// (dense) — so a single instance exercises both code paths.
-pub fn hub_ring(
-    ring: usize,
-    hubs: usize,
-    spokes: usize,
-    weights: WeightModel,
-    seed: u64,
-) -> Graph {
+pub fn hub_ring(ring: usize, hubs: usize, spokes: usize, weights: WeightModel, seed: u64) -> Graph {
     assert!(ring >= 3, "ring needs at least 3 vertices");
     assert!(hubs <= ring, "at most one hub per ring vertex");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -380,7 +389,9 @@ pub fn hub_ring(
 pub fn random_regular(n: usize, d: usize, weights: WeightModel, seed: u64) -> Graph {
     assert!(n * d % 2 == 0, "n·d must be even for a pairing");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat(v).take(d))
+        .collect();
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n.max(1));
     for pair in stubs.chunks(2) {
@@ -458,9 +469,7 @@ impl Family {
             },
             Family::Torus { side } => torus(side, side, weights, seed),
             Family::Hypercube { d } => hypercube(d, weights, seed),
-            Family::PowerLaw { n, avg_deg } => {
-                chung_lu_power_law(n, avg_deg, 2.5, weights, seed)
-            }
+            Family::PowerLaw { n, avg_deg } => chung_lu_power_law(n, avg_deg, 2.5, weights, seed),
             Family::CliqueChain { cliques, size } => clique_chain(cliques, size, weights, seed),
         }
     }
@@ -615,7 +624,11 @@ mod tests {
         assert!(g.m() > 200);
         // Highest-weight vertex should have clearly above-average degree.
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
-        assert!(g.degree(0) as f64 > 2.0 * avg, "deg0={} avg={avg}", g.degree(0));
+        assert!(
+            g.degree(0) as f64 > 2.0 * avg,
+            "deg0={} avg={avg}",
+            g.degree(0)
+        );
     }
 
     #[test]
@@ -633,12 +646,24 @@ mod tests {
     #[test]
     fn family_generate_all() {
         for fam in [
-            Family::ErdosRenyi { n: 100, avg_deg: 6.0 },
-            Family::Geometric { n: 100, radius: 0.2 },
+            Family::ErdosRenyi {
+                n: 100,
+                avg_deg: 6.0,
+            },
+            Family::Geometric {
+                n: 100,
+                radius: 0.2,
+            },
             Family::Torus { side: 8 },
             Family::Hypercube { d: 6 },
-            Family::PowerLaw { n: 100, avg_deg: 5.0 },
-            Family::CliqueChain { cliques: 5, size: 6 },
+            Family::PowerLaw {
+                n: 100,
+                avg_deg: 5.0,
+            },
+            Family::CliqueChain {
+                cliques: 5,
+                size: 6,
+            },
         ] {
             let g = fam.generate(WeightModel::Uniform(1, 16), 99);
             assert!(g.n() > 0, "{}", fam.name());

@@ -65,7 +65,9 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, Weight, EdgeId)> + '_ {
         let v = v as usize;
-        self.adj[self.offsets[v]..self.offsets[v + 1]].iter().copied()
+        self.adj[self.offsets[v]..self.offsets[v + 1]]
+            .iter()
+            .copied()
     }
 
     /// Degree of `v`.
@@ -77,7 +79,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether the graph has unit weights only.
@@ -103,10 +108,7 @@ impl Graph {
     /// (used when feeding weighted workloads to unweighted-only algorithms
     /// such as Appendix B's).
     pub fn unweighted_copy(&self) -> Graph {
-        Graph::from_edges(
-            self.n,
-            self.edges.iter().map(|e| Edge::new(e.u, e.v, 1)),
-        )
+        Graph::from_edges(self.n, self.edges.iter().map(|e| Edge::new(e.u, e.v, 1)))
     }
 
     /// Sum of all edge weights.

@@ -52,7 +52,10 @@ pub fn read_edge_list<R: BufRead>(reader: R, min_n: usize) -> Result<Graph, IoEr
         let (u, v) = match (parse(parts.next()), parse(parts.next())) {
             (Some(u), Some(v)) => (u, v),
             _ => {
-                return Err(IoError::Parse { line: idx + 1, content: trimmed.to_string() })
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
             }
         };
         let w = parse(parts.next()).unwrap_or(1).max(1);

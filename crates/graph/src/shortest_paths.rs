@@ -64,7 +64,11 @@ pub fn dijkstra(g: &Graph, source: u32) -> SsspTree {
             }
         }
     }
-    SsspTree { source, dist, parent }
+    SsspTree {
+        source,
+        dist,
+        parent,
+    }
 }
 
 /// BFS from `source`, ignoring weights (hop distances).
@@ -84,16 +88,17 @@ pub fn bfs(g: &Graph, source: u32) -> SsspTree {
             }
         }
     }
-    SsspTree { source, dist, parent }
+    SsspTree {
+        source,
+        dist,
+        parent,
+    }
 }
 
 /// Exact distances from every vertex in `sources` (one Dijkstra per source,
 /// parallelised with rayon). Row `i` corresponds to `sources[i]`.
 pub fn multi_source_distances(g: &Graph, sources: &[u32]) -> Vec<Vec<Distance>> {
-    sources
-        .par_iter()
-        .map(|&s| dijkstra(g, s).dist)
-        .collect()
+    sources.par_iter().map(|&s| dijkstra(g, s).dist).collect()
 }
 
 /// Exact all-pairs shortest paths: `n` Dijkstras in parallel.
@@ -118,12 +123,7 @@ pub fn pair_distance(g: &Graph, s: u32, t: u32) -> Distance {
 /// The `max_size` cap counts vertices plus *incident edge endpoints seen*,
 /// matching the paper's "balls of size O(n^{γ/2}) (including both edges and
 /// vertices)".
-pub fn capped_bfs_ball(
-    g: &Graph,
-    source: u32,
-    max_hops: usize,
-    max_size: usize,
-) -> CappedBall {
+pub fn capped_bfs_ball(g: &Graph, source: u32, max_hops: usize, max_size: usize) -> CappedBall {
     let mut visited: Vec<u32> = vec![source];
     let mut hop: Vec<usize> = vec![0];
     let mut in_ball = std::collections::HashMap::new();

@@ -123,7 +123,11 @@ pub fn sampled_pairwise_stretch(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = g.n() as u32;
     if n == 0 {
-        return PairwiseStretch { max: 1.0, avg: 1.0, pairs: 0 };
+        return PairwiseStretch {
+            max: 1.0,
+            avg: 1.0,
+            pairs: 0,
+        };
     }
     let srcs: Vec<u32> = (0..samples.min(n as usize))
         .map(|_| rng.gen_range(0..n))
@@ -180,7 +184,11 @@ pub struct PairwiseStretch {
 pub fn assert_valid_edge_ids(g: &Graph, edge_ids: &[EdgeId]) {
     let mut seen = vec![false; g.m()];
     for &id in edge_ids {
-        assert!((id as usize) < g.m(), "edge id {id} out of range (m={})", g.m());
+        assert!(
+            (id as usize) < g.m(),
+            "edge id {id} out of range (m={})",
+            g.m()
+        );
         assert!(!seen[id as usize], "duplicate edge id {id} in spanner");
         seen[id as usize] = true;
     }

@@ -50,7 +50,10 @@ pub fn route<T: Record>(
     for (src, outbox) in outboxes.iter().enumerate() {
         for (dst, _) in outbox {
             if *dst >= p {
-                return Err(MpcError::BadDestination { dest: *dst, num_machines: p });
+                return Err(MpcError::BadDestination {
+                    dest: *dst,
+                    num_machines: p,
+                });
             }
             if *dst != src {
                 sent[src] += T::WORDS;
@@ -87,7 +90,11 @@ pub fn route_with<T: Record>(
 ) -> Result<Dist<T>> {
     let p = sys.machines();
     let shards = d.into_shards();
-    assert_eq!(shards.len(), dests.len(), "one destination vector per machine");
+    assert_eq!(
+        shards.len(),
+        dests.len(),
+        "one destination vector per machine"
+    );
 
     let mut sent = vec![0usize; p];
     let mut received = vec![0usize; p];
@@ -95,7 +102,10 @@ pub fn route_with<T: Record>(
         assert_eq!(ds.len(), shards[src].len(), "one destination per record");
         for &dst in ds {
             if dst >= p {
-                return Err(MpcError::BadDestination { dest: dst, num_machines: p });
+                return Err(MpcError::BadDestination {
+                    dest: dst,
+                    num_machines: p,
+                });
             }
             if dst != src {
                 sent[src] += T::WORDS;
@@ -211,7 +221,11 @@ pub fn broadcast_all<T: Record>(
     let total_traffic = ((p - 1) * payload_words) as u64;
     let per_round_total = total_traffic / rounds as u64;
     for r in 0..rounds {
-        let leftover = if r == 0 { total_traffic % rounds as u64 } else { 0 };
+        let leftover = if r == 0 {
+            total_traffic % rounds as u64
+        } else {
+            0
+        };
         sys.charge_round(
             op,
             (f * chunk_words).min(cap),

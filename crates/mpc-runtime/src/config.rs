@@ -43,7 +43,10 @@ impl MpcConfig {
     /// # Panics
     /// Panics if `γ ∉ (0, 1)`.
     pub fn strongly_sublinear(n: usize, gamma: f64, input_words: usize) -> Self {
-        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1), got {gamma}");
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "gamma must be in (0,1), got {gamma}"
+        );
         let s = (n.max(2) as f64).powf(gamma).ceil() as usize;
         // Floor: a machine must hold at least a few hundred words for the
         // model to be meaningful (records are up to 8 words; real MPC

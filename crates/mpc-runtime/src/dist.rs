@@ -24,7 +24,9 @@ pub struct Dist<T: Record> {
 impl<T: Record> Dist<T> {
     /// An empty collection spread over the system's machines.
     pub fn empty(sys: &MpcSystem) -> Self {
-        Dist { shards: vec![Vec::new(); sys.machines()] }
+        Dist {
+            shards: vec![Vec::new(); sys.machines()],
+        }
     }
 
     /// Distributes `items` across machines in contiguous blocks, the
@@ -86,7 +88,11 @@ impl<T: Record> Dist<T> {
     /// Largest shard size in words (the collection's memory footprint on
     /// the busiest machine).
     pub fn max_shard_words(&self) -> usize {
-        self.shards.iter().map(|s| s.len() * T::WORDS).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.len() * T::WORDS)
+            .max()
+            .unwrap_or(0)
     }
 
     /// **Out-of-model extraction**: concatenates all shards in machine
@@ -109,8 +115,11 @@ impl<T: Record> Dist<T> {
         sys: &mut MpcSystem,
         f: impl Fn(&T) -> U + Send + Sync,
     ) -> Result<Dist<U>> {
-        let shards: Vec<Vec<U>> =
-            self.shards.par_iter().map(|s| s.iter().map(&f).collect()).collect();
+        let shards: Vec<Vec<U>> = self
+            .shards
+            .par_iter()
+            .map(|s| s.iter().map(&f).collect())
+            .collect();
         sys.check_all_storage(&shards, "map")?;
         Ok(Dist { shards })
     }

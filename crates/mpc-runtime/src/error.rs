@@ -78,7 +78,12 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = MpcError::MemoryExceeded { machine: 3, words: 100, capacity: 64, op: "route" };
+        let e = MpcError::MemoryExceeded {
+            machine: 3,
+            words: 100,
+            capacity: 64,
+            op: "route",
+        };
         assert!(e.to_string().contains("machine 3"));
         let e = MpcError::BandwidthExceeded {
             machine: 1,
@@ -88,9 +93,15 @@ mod tests {
             op: "route",
         };
         assert!(e.to_string().contains("send"));
-        let e = MpcError::InputTooLarge { needed: 10, available: 5 };
+        let e = MpcError::InputTooLarge {
+            needed: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("10"));
-        let e = MpcError::BadDestination { dest: 9, num_machines: 4 };
+        let e = MpcError::BadDestination {
+            dest: 9,
+            num_machines: 4,
+        };
         assert!(e.to_string().contains("9"));
     }
 }

@@ -82,7 +82,9 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
             return samples;
         }
         let step = samples.len() as f64 / limit as f64;
-        (0..limit).map(|i| samples[(i as f64 * step) as usize].clone()).collect()
+        (0..limit)
+            .map(|i| samples[(i as f64 * step) as usize].clone())
+            .collect()
     };
 
     while groups.iter().any(|&(lo, hi)| hi - lo > 1) {
@@ -97,7 +99,9 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
                     (0..shard.len()).map(decorate).collect()
                 } else {
                     let step = shard.len() as f64 / b as f64;
-                    (0..b).map(|i| decorate((i as f64 * step) as usize)).collect()
+                    (0..b)
+                        .map(|i| decorate((i as f64 * step) as usize))
+                        .collect()
                 }
             })
             .collect();
@@ -117,8 +121,7 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
         let group_samples: Vec<Vec<(K, u64, u64)>> = groups
             .par_iter()
             .map(|&(lo, hi)| {
-                let mut level: Vec<Vec<(K, u64, u64)>> =
-                    machine_samples[lo..hi].to_vec();
+                let mut level: Vec<Vec<(K, u64, u64)>> = machine_samples[lo..hi].to_vec();
                 while level.len() > 1 {
                     let g = level.len().div_ceil(f);
                     let mut next = Vec::with_capacity(g);
@@ -137,7 +140,12 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
             })
             .collect();
         for _ in 0..tree_depth {
-            sys.charge_round(op, b * kwords, (f - 1) * b * kwords, (p * b * kwords) as u64)?;
+            sys.charge_round(
+                op,
+                b * kwords,
+                (f - 1) * b * kwords,
+                (p * b * kwords) as u64,
+            )?;
         }
 
         // --- Per-group splitters and subranges; broadcast splitters down
@@ -166,13 +174,24 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
                 let splitters: Vec<(K, u64, u64)> = if samples.is_empty() {
                     vec![]
                 } else {
-                    (1..nsub).map(|i| samples[(i * samples.len()) / nsub].clone()).collect()
+                    (1..nsub)
+                        .map(|i| samples[(i * samples.len()) / nsub].clone())
+                        .collect()
                 };
-                Plan { lo, subranges, splitters }
+                Plan {
+                    lo,
+                    subranges,
+                    splitters,
+                }
             })
             .collect();
         for _ in 0..tree_depth.max(1) {
-            sys.charge_round(op, f * (f - 1) * kwords, (f - 1) * kwords, (p * kwords) as u64)?;
+            sys.charge_round(
+                op,
+                f * (f - 1) * kwords,
+                (f - 1) * kwords,
+                (p * kwords) as u64,
+            )?;
         }
 
         // --- Route every record one level down (one round).
@@ -298,7 +317,9 @@ pub fn aggregate_by_key<T: Record, V: Record>(
     combine: impl Fn(&V, &V) -> V + Send + Sync,
 ) -> Result<Dist<(u64, V)>> {
     let p = sys.machines();
-    let routed = route(sys, d, op, |rec, _| (splitmix64(key(rec)) % p as u64) as usize)?;
+    let routed = route(sys, d, op, |rec, _| {
+        (splitmix64(key(rec)) % p as u64) as usize
+    })?;
     let shards = routed.into_shards();
     let folded: Vec<Vec<(u64, V)>> = shards
         .into_par_iter()

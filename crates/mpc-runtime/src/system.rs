@@ -20,7 +20,10 @@ pub struct MpcSystem {
 impl MpcSystem {
     /// A fresh deployment with zeroed metrics.
     pub fn new(cfg: MpcConfig) -> Self {
-        MpcSystem { cfg, metrics: Metrics::default() }
+        MpcSystem {
+            cfg,
+            metrics: Metrics::default(),
+        }
     }
 
     /// The deployment configuration.
@@ -87,11 +90,21 @@ impl MpcSystem {
 
     /// Validates that machine `idx` may hold `words` words; records the
     /// observation into the peak-storage metric.
-    pub(crate) fn check_storage(&mut self, machine: usize, words: usize, op: &'static str) -> Result<()> {
+    pub(crate) fn check_storage(
+        &mut self,
+        machine: usize,
+        words: usize,
+        op: &'static str,
+    ) -> Result<()> {
         self.metrics.observe_storage(words);
         let cap = self.cfg.capacity();
         if words > cap {
-            return Err(MpcError::MemoryExceeded { machine, words, capacity: cap, op });
+            return Err(MpcError::MemoryExceeded {
+                machine,
+                words,
+                capacity: cap,
+                op,
+            });
         }
         Ok(())
     }

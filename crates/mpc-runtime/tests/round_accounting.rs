@@ -68,10 +68,8 @@ fn rounds_by_op_partitions_total() {
     let mut sys = MpcSystem::new(cfg);
     let d = Dist::distribute(&mut sys, (0..500u64).collect()).unwrap();
     let sorted = primitives::sort_by_key(&mut sys, d, "sort", |&x| x).unwrap();
-    let _ = primitives::aggregate_by_key(&mut sys, sorted, "agg", |&x| x % 7, |&x| x, |a, b| {
-        a + b
-    })
-    .unwrap();
+    let _ = primitives::aggregate_by_key(&mut sys, sorted, "agg", |&x| x % 7, |&x| x, |a, b| a + b)
+        .unwrap();
     let by_op: u64 = sys.metrics().rounds_by_op.values().sum();
     assert_eq!(by_op, sys.rounds(), "per-op rounds must sum to the total");
     assert!(sys.metrics().rounds_by_op.contains_key("sort"));
@@ -85,7 +83,11 @@ fn accounting_is_deterministic() {
         let mut sys = MpcSystem::new(cfg);
         let d = Dist::distribute(&mut sys, (0..333u64).rev().collect()).unwrap();
         let s = primitives::sort_by_key(&mut sys, d, "sort", |&x| x).unwrap();
-        (sys.rounds(), sys.metrics().total_comm_words, s.collect_out_of_model())
+        (
+            sys.rounds(),
+            sys.metrics().total_comm_words,
+            s.collect_out_of_model(),
+        )
     };
     assert_eq!(run(), run());
 }

@@ -35,11 +35,7 @@ pub struct PramSpannerRun {
 }
 
 /// Runs the Section 5 algorithm under PRAM accounting.
-pub fn pram_general_spanner(
-    g: &Graph,
-    params: TradeoffParams,
-    seed: u64,
-) -> PramSpannerRun {
+pub fn pram_general_spanner(g: &Graph, params: TradeoffParams, seed: u64) -> PramSpannerRun {
     let n = g.n();
     let mut tracker = PramTracker::new(n.max(2));
     let algorithm = format!("pram-general(k={},t={})", params.k, params.t);

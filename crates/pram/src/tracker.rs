@@ -32,7 +32,12 @@ pub struct PramTracker {
 impl PramTracker {
     /// Fresh tracker for problem size `n`.
     pub fn new(n: usize) -> Self {
-        PramTracker { n, depth: 0, work: 0, primitive_invocations: 0 }
+        PramTracker {
+            n,
+            depth: 0,
+            work: 0,
+            primitive_invocations: 0,
+        }
     }
 
     /// One parallel step: depth 1, `work` total operations.

@@ -34,7 +34,10 @@ fn main() {
     println!("reference spanner: {} edges\n", reference.size());
 
     let input_words = 4 * g.m() + 2 * g.n() + 64;
-    println!("{:>8} {:>6} {:>8} {:>12} {:>14} {:>9}", "S(words)", "P", "rounds", "rounds/iter", "peak mem", "match");
+    println!(
+        "{:>8} {:>6} {:>8} {:>12} {:>14} {:>9}",
+        "S(words)", "P", "rounds", "rounds/iter", "peak mem", "match"
+    );
     for s in [2048usize, 4096, 8192, 16384] {
         let cfg = MpcConfig::explicit(s, input_words.div_ceil(s).max(2), 8);
         let run = mpc_general_spanner_with_config(&g, params, cfg, 11)

@@ -21,7 +21,10 @@ fn main() {
 
     let k = 16u32;
     let runs = [
-        ("Section 4  (t=1, fastest)", cluster_merging_spanner(&g, k, 42)),
+        (
+            "Section 4  (t=1, fastest)",
+            cluster_merging_spanner(&g, k, 42),
+        ),
         (
             "Section 5  (t=log k)     ",
             general_spanner(&g, TradeoffParams::log_k(k), 42, Default::default()),

@@ -45,8 +45,7 @@ fn main() {
     println!("\nunweighted topology spanners (Appendix B, O(k) stretch):");
     let topo = g.unweighted_copy();
     for k in [2u32, 3, 4] {
-        let (r, stats) =
-            unweighted_ok_spanner(&topo, k, UnweightedOkConfig::default(), 5);
+        let (r, stats) = unweighted_ok_spanner(&topo, k, UnweightedOkConfig::default(), 5);
         let rep = verify_spanner(&topo, &r.edges);
         assert!(rep.all_edges_spanned);
         println!(

@@ -24,7 +24,12 @@ fn main() {
     // Pretend this file arrived from elsewhere: a 16-regular weighted graph.
     let g = random_regular(5000, 16, WeightModel::Uniform(1, 1000), 2024);
     write_edge_list_file(&g, &input).expect("write input");
-    println!("wrote input:  {} (n={}, m={})", input.display(), g.n(), g.m());
+    println!(
+        "wrote input:  {} (n={}, m={})",
+        input.display(),
+        g.n(),
+        g.m()
+    );
 
     // Stream job: log k passes, k^{log 3} stretch (Section 2.4 / §4).
     let g = read_edge_list_file(&input).expect("read input");

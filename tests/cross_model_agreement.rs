@@ -17,10 +17,19 @@ use spanner_pram::pram_general_spanner;
 
 fn families() -> Vec<(String, mpc_spanners::graph::Graph)> {
     [
-        Family::ErdosRenyi { n: 120, avg_deg: 8.0 },
+        Family::ErdosRenyi {
+            n: 120,
+            avg_deg: 8.0,
+        },
         Family::Torus { side: 11 },
-        Family::PowerLaw { n: 120, avg_deg: 6.0 },
-        Family::CliqueChain { cliques: 8, size: 8 },
+        Family::PowerLaw {
+            n: 120,
+            avg_deg: 6.0,
+        },
+        Family::CliqueChain {
+            cliques: 8,
+            size: 8,
+        },
     ]
     .iter()
     .map(|f| (f.name(), f.generate(WeightModel::Uniform(1, 32), 0xD1FF)))
@@ -38,9 +47,18 @@ fn all_four_drivers_agree() {
                     .unwrap_or_else(|e| panic!("{name}: MPC driver failed: {e}"));
                 let pram = pram_general_spanner(&g, params, seed);
                 let cc = cc_spanner(&g, params, seed, 1);
-                assert_eq!(seq.edges, mpc.result.edges, "{name} k={k} t={t}: MPC diverged");
-                assert_eq!(seq.edges, pram.result.edges, "{name} k={k} t={t}: PRAM diverged");
-                assert_eq!(seq.edges, cc.result.edges, "{name} k={k} t={t}: CC diverged");
+                assert_eq!(
+                    seq.edges, mpc.result.edges,
+                    "{name} k={k} t={t}: MPC diverged"
+                );
+                assert_eq!(
+                    seq.edges, pram.result.edges,
+                    "{name} k={k} t={t}: PRAM diverged"
+                );
+                assert_eq!(
+                    seq.edges, cc.result.edges,
+                    "{name} k={k} t={t}: CC diverged"
+                );
             }
         }
     }
@@ -57,7 +75,12 @@ fn engine_t_equals_k_matches_standalone_baswana_sen_guarantees() {
     for (name, g) in families() {
         let k = 4u32;
         let a = baswana_sen(&g, k, 5);
-        let b = general_spanner(&g, TradeoffParams::baswana_sen(k), 5, BuildOptions::default());
+        let b = general_spanner(
+            &g,
+            TradeoffParams::baswana_sen(k),
+            5,
+            BuildOptions::default(),
+        );
         for (label, r) in [("standalone", &a), ("engine", &b)] {
             let rep = verify_spanner(&g, &r.edges);
             assert!(rep.all_edges_spanned, "{name}/{label}");

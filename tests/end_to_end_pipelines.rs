@@ -9,8 +9,11 @@ use mpc_spanners::graph::shortest_paths::dijkstra;
 
 #[test]
 fn mpc_apsp_pipeline_end_to_end() {
-    let g = Family::ErdosRenyi { n: 200, avg_deg: 10.0 }
-        .generate(WeightModel::PowersOfTwo(7), 0xEE);
+    let g = Family::ErdosRenyi {
+        n: 200,
+        avg_deg: 10.0,
+    }
+    .generate(WeightModel::PowersOfTwo(7), 0xEE);
     let run = mpc_build_oracle(&g, 3).expect("near-linear run fits");
     // Construction happened under enforced near-linear memory.
     assert!(run.metrics.peak_machine_words <= run.config.capacity());
@@ -53,8 +56,11 @@ fn cc_apsp_pipeline_end_to_end() {
 
 #[test]
 fn oracle_handles_disconnected_graphs() {
-    let g = Family::ErdosRenyi { n: 150, avg_deg: 1.2 }
-        .generate(WeightModel::Uniform(1, 9), 0xDD);
+    let g = Family::ErdosRenyi {
+        n: 150,
+        avg_deg: 1.2,
+    }
+    .generate(WeightModel::Uniform(1, 9), 0xDD);
     let oracle = build_oracle(&g, 5);
     let exact = dijkstra(&g, 0).dist;
     let approx = oracle.distances_from(0);

@@ -11,7 +11,13 @@ use mpc_spanners::mpc::{comm, primitives, Dist, MpcConfig, MpcError, MpcSystem};
 fn distribute_rejects_oversized_input() {
     let mut sys = MpcSystem::new(MpcConfig::explicit(8, 2, 1));
     let err = Dist::distribute(&mut sys, vec![0u64; 1000]).unwrap_err();
-    assert!(matches!(err, MpcError::InputTooLarge { needed: 1000, available: 16 }));
+    assert!(matches!(
+        err,
+        MpcError::InputTooLarge {
+            needed: 1000,
+            available: 16
+        }
+    ));
 }
 
 #[test]
@@ -56,7 +62,12 @@ fn driver_propagates_undersized_deployment() {
 
 #[test]
 fn errors_are_displayable_and_stable() {
-    let e = MpcError::MemoryExceeded { machine: 2, words: 10, capacity: 5, op: "x" };
+    let e = MpcError::MemoryExceeded {
+        machine: 2,
+        words: 10,
+        capacity: 5,
+        op: "x",
+    };
     let s = format!("{e}");
     assert!(s.contains("machine 2") && s.contains("x"));
     // Round-trips through Debug too (typed, matchable).

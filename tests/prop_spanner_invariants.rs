@@ -22,15 +22,14 @@ use mpc_spanners::graph::Graph;
 fn arb_graph(nmax: usize) -> impl Strategy<Value = Graph> {
     (2..nmax).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32, 1u64..64);
-        proptest::collection::vec(edge, 0..(4 * n))
-            .prop_map(move |raw| {
-                Graph::from_edges(
-                    n,
-                    raw.into_iter()
-                        .filter(|&(a, b, _)| a != b)
-                        .map(|(a, b, w)| Edge::new(a, b, w)),
-                )
-            })
+        proptest::collection::vec(edge, 0..(4 * n)).prop_map(move |raw| {
+            Graph::from_edges(
+                n,
+                raw.into_iter()
+                    .filter(|&(a, b, _)| a != b)
+                    .map(|(a, b, w)| Edge::new(a, b, w)),
+            )
+        })
     })
 }
 

@@ -1,0 +1,283 @@
+//! Minimal, dependency-free shim for the subset of [criterion] this
+//! workspace's benches use: `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{bench_with_input, bench_function, finish}`,
+//! `Bencher::iter`, `BenchmarkId::{new, from_parameter}`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. Timing here is a plain [`std::time::Instant`] loop that
+//! prints mean/min/max per benchmark — adequate for the relative
+//! comparisons in `EXPERIMENTS.md`, with none of criterion's statistical
+//! machinery. When the binary is invoked with `--test` (as `cargo test`
+//! does for bench targets), each benchmark body runs exactly once so the
+//! test suite stays fast.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from [`std::hint::black_box`].
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter, rendered as its `Display` form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` `sample_size` times (once in `--test` mode),
+    /// recording wall-clock time per run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut results = Vec::new();
+    let mut b = Bencher {
+        samples,
+        results: &mut results,
+    };
+    f(&mut b);
+    if results.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().unwrap();
+    let max = results.iter().max().unwrap();
+    println!(
+        "bench {label:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({n} samples)",
+        n = results.len()
+    );
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with the `--test` flag; run each
+        // routine once there so the suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Time a single named routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, self.effective_samples(), |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group takes.
+    /// Group-scoped, as in the real crate: the parent [`Criterion`]'s
+    /// setting is untouched.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        }
+    }
+
+    /// Time `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.effective_samples(), |b| f(b, input));
+        self
+    }
+
+    /// Time a routine under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.effective_samples(), |b| f(b));
+        self
+    }
+
+    /// End the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`. Both the `name/config/targets` form and
+/// the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("sort", 64).id, "sort/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn group_sample_size_is_group_scoped() {
+        let mut c = Criterion::default().sample_size(5);
+        c.test_mode = false;
+        let mut group_runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_function("a", |b| b.iter(|| group_runs += 1));
+            group.finish();
+        }
+        let mut later_runs = 0usize;
+        c.bench_function("later", |b| b.iter(|| later_runs += 1));
+        assert_eq!(group_runs, 2, "group override applies inside the group");
+        assert_eq!(later_runs, 5, "group override must not leak to the parent");
+    }
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_with_input(BenchmarkId::from_parameter(1), &2u64, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

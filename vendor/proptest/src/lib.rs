@@ -1,0 +1,485 @@
+//! Dependency-free shim for the subset of [proptest] this workspace
+//! uses. The build environment has no registry access, so the real crate
+//! cannot be fetched.
+//!
+//! Supported surface (everything the in-tree property tests call):
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * integer / float range strategies (`0u64..100`, `2usize..24`, …),
+//!   tuple strategies up to arity 6, and [`collection::vec()`];
+//! * [`Strategy::prop_map`](strategy::Strategy::prop_map) and
+//!   [`Strategy::prop_flat_map`](strategy::Strategy::prop_flat_map);
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (reruns are reproducible by construction), and
+//! there is **no shrinking** — a failing case reports the case index and
+//! the assertion message, not a minimised input.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+#[doc(hidden)]
+pub mod rand_shim {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+pub mod test_runner {
+    //! The execution side: config, case errors, and the per-test driver
+    //! invoked by the [`proptest!`](crate::proptest) macro expansion.
+
+    /// How a single generated case failed (or was rejected).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert*` failure with its message.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; it is skipped and
+        /// does not count as a failure.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Construct a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// The `Result` type a generated case body evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Base seed for the deterministic case stream.
+        pub seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Budget of `prop_assume!` rejections before the run is declared
+    /// over-constrained (mirrors the real crate's `max_global_rejects`
+    /// default of 4× the case count).
+    pub fn max_global_rejects(cases: u32) -> u64 {
+        4 * u64::from(cases.max(1))
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Seed chosen once, arbitrarily (pi's hex digits); fixed so
+            // failures reproduce across runs and machines.
+            ProptestConfig {
+                cases: 256,
+                seed: 0x243F_6A88_85A3_08D3,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies, mirroring `proptest::strategy`.
+    use crate::rand_shim::{Rng, SeedableRng, StdRng};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value. Deterministic in the state of `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Seed the deterministic runner RNG for one property test.
+    pub fn runner_rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+    use crate::rand_shim::{Rng, StdRng};
+    use crate::strategy::Strategy;
+
+    /// The length distribution for [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `elem` and
+    /// whose length is drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.hi_exclusive <= self.size.lo {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fail the current case with an assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($lhs), stringify!($rhs), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case unless two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($lhs),
+                        stringify!($rhs),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case (it counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// block is run for `cases` generated inputs (default 256, override with
+/// the `#![proptest_config(...)]` header).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+     $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::strategy::runner_rng(config.seed);
+                // As in the real crate, `prop_assume!` rejections are
+                // redrawn rather than consuming the case budget, and an
+                // excessive rejection rate is an error instead of a
+                // silently weakened test.
+                let max_rejects = $crate::test_runner::max_global_rejects(config.cases);
+                let mut rejects: u64 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {
+                            case += 1;
+                        }
+                        Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejects += 1;
+                            if rejects > max_rejects {
+                                panic!(
+                                    "property test {} rejected too many inputs \
+                                     ({} rejections for {} target cases): \
+                                     weaken the prop_assume! or tighten the strategy",
+                                    stringify!($name), rejects, config.cases
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property test {} failed at case {}/{}: {}",
+                                   stringify!($name), case + 1, config.cases, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (0u64..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 1u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(x in small_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..9).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "index {} out of bound {}", i, n);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(0u64..100, 2..7),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    static HEAVY_ASSUME_ACCEPTED: std::sync::atomic::AtomicU32 =
+        std::sync::atomic::AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Not #[test]: driven by `assume_redraws_to_full_budget` below so
+        // the accepted-case counter is observed without a parallel runner.
+        #[allow(dead_code)]
+        fn heavy_assume_driver(x in 0u64..10) {
+            prop_assume!(x >= 8); // rejects ~80% of draws
+            HEAVY_ASSUME_ACCEPTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Rejections must be redrawn, not consume the case budget: the body
+    /// must run for the full configured number of accepted cases.
+    #[test]
+    fn assume_redraws_to_full_budget() {
+        HEAVY_ASSUME_ACCEPTED.store(0, std::sync::atomic::Ordering::Relaxed);
+        heavy_assume_driver();
+        assert_eq!(
+            HEAVY_ASSUME_ACCEPTED.load(std::sync::atomic::Ordering::Relaxed),
+            32
+        );
+    }
+}

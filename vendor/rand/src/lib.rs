@@ -1,0 +1,281 @@
+//! Deterministic, dependency-free shim for the subset of [rand] this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::{gen, gen_range}` over
+//! integer and float ranges, and `SliceRandom::shuffle`.
+//!
+//! The build environment has no registry access, so the real rand cannot
+//! be fetched. The shim's [`rngs::StdRng`] is a xoshiro256** generator
+//! seeded via SplitMix64 — high-quality, fast, and fully deterministic
+//! for a given seed, which is all the experiment harness requires
+//! (every generator in this workspace takes an explicit `u64` seed).
+//! Note the stream differs from the real crate's ChaCha-based `StdRng`,
+//! so seeds are reproducible *within* this workspace, not across shims.
+//!
+//! [rand]: https://docs.rs/rand
+
+/// Trait for seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// One step of the SplitMix64 sequence; used to expand seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A half-open or inclusive range that [`Rng::gen_range`] can sample from,
+/// mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from `self` using `rng`.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types [`Rng::gen`] can produce, mirroring `rand::distributions::Standard`.
+pub trait Standard: Sized {
+    /// Draw a sample from the type's standard distribution.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64 bits from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the type's standard distribution
+    /// (`f64` in `[0, 1)`, integers uniform over their full range).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range. Panics on an empty range, like the real crate.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a boolean that is `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+macro_rules! impl_uint_sampling {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping is fine here: the
+                // workspace only samples spans far below 2^48, where the
+                // modulo bias is negligible for test/benchmark purposes.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_uint_sampling!(u8, u16, u32, u64, usize);
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators, mirroring `rand::rngs`.
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for the real
+    /// crate's `StdRng`. Same seed ⇒ same stream, forever.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the 64-bit seed with SplitMix64 per Blackman &
+            // Vigna's recommendation (avoids the all-zero state).
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// In-place slice utilities, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related traits, mirroring `rand::seq`.
+    pub use super::SliceRandom;
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rand::prelude`.
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,121 @@
+//! Sequential, dependency-free shim for the subset of [rayon] this
+//! workspace uses (`par_iter`, `par_iter_mut`, `into_par_iter` and the
+//! standard iterator adapters chained on them).
+//!
+//! The build environment has no registry access, so the real rayon cannot
+//! be fetched; this shim keeps every call site source-compatible while
+//! executing sequentially. Swapping in the real crate is a one-line
+//! `Cargo.toml` change — no source edits — because every `par_*` method
+//! here returns a plain [`std::iter::Iterator`], a strict subset of
+//! rayon's `ParallelIterator` contract for the adapters used in-tree
+//! (`map`, `filter`, `flat_map`, `zip`, `enumerate`, `for_each`,
+//! `collect`).
+//!
+//! [rayon]: https://docs.rs/rayon
+
+/// Marker alias so code may write `impl ParallelIterator` bounds; with the
+/// sequential shim every [`Iterator`] qualifies.
+pub trait ParallelIterator: Iterator + Sized {}
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item;
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for rayon's `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// By-reference conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type produced (typically `&'data T`).
+    type Item: 'data;
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable by-reference conversion, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The item type produced (typically `&'data mut T`).
+    type Item: 'data;
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let total: u64 = vec![1u64, 2, 3].into_par_iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1u64, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}
