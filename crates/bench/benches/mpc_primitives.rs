@@ -37,6 +37,37 @@ fn bench_aggregate(c: &mut Criterion) {
     });
 }
 
+/// Thread-scaling probe for the runtime's hottest primitive: the same
+/// distributed sample sort at 1 thread (the pre-parallelism baseline),
+/// 2 threads, and the pool default. Shim splitting is capped via
+/// `ThreadPool::install`, so all counts run in one process.
+fn bench_sort_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_sort_threads");
+    let m = 50_000usize;
+    let cfg = MpcConfig::explicit(4096, m.div_ceil(4096) * 2, 8);
+    let data: Vec<u64> = (0..m as u64).map(primitives::splitmix64).collect();
+    let default_threads = rayon::current_num_threads();
+    let mut counts = vec![1usize, 2, default_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    let mut sys = MpcSystem::new(cfg);
+                    let d = Dist::distribute(&mut sys, data.clone()).unwrap();
+                    primitives::sort_by_key(&mut sys, d, "sort", |&x| x).unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_driver(c: &mut Criterion) {
     let g = Family::ErdosRenyi {
         n: 1024,
@@ -53,6 +84,6 @@ fn bench_driver(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_sort, bench_aggregate, bench_driver
+    targets = bench_sort, bench_aggregate, bench_sort_thread_scaling, bench_driver
 );
 criterion_main!(benches);

@@ -2,6 +2,8 @@
 //! union-find used across the workspace (it doubles as the PRAM "leader
 //! pointer" merge structure described in Section 6 of the paper).
 
+use rayon::prelude::*;
+
 use crate::edge::EdgeId;
 use crate::graph::Graph;
 
@@ -111,7 +113,10 @@ pub fn spanning_forest(g: &Graph) -> Vec<EdgeId> {
 /// spanner always contains a spanning forest of every component).
 pub fn minimum_spanning_forest(g: &Graph) -> Vec<EdgeId> {
     let mut ids: Vec<EdgeId> = (0..g.m() as EdgeId).collect();
-    ids.sort_unstable_by_key(|&id| g.edge(id).w);
+    // (weight, id) key: unique per item, so the unstable parallel sort is
+    // deterministic at every thread count — Kruskal's edge choice among
+    // equal weights must not depend on the pool size.
+    ids.par_sort_unstable_by_key(|&id| (g.edge(id).w, id));
     let mut uf = UnionFind::new(g.n());
     let mut out = Vec::new();
     for id in ids {

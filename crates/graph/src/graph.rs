@@ -4,6 +4,8 @@
 //! the paper's algorithms assume them implicitly (parallel edges would only
 //! ever keep the lightest copy — exactly what [`GraphBuilder`] does).
 
+use rayon::prelude::*;
+
 use crate::edge::{Edge, EdgeId, EdgeList, Weight};
 
 /// A weighted undirected graph in CSR (compressed sparse row) form.
@@ -157,8 +159,9 @@ impl GraphBuilder {
     /// Finalises into a [`Graph`].
     pub fn build(mut self) -> Graph {
         // Deduplicate: sort by (u, v, w) and keep the first (lightest) copy
-        // of each endpoint pair.
-        self.raw.sort_unstable_by_key(|e| (e.u, e.v, e.w));
+        // of each endpoint pair. The unstable parallel sort is safe here:
+        // the key is the whole record, so equal keys are identical edges.
+        self.raw.par_sort_unstable_by_key(|e| (e.u, e.v, e.w));
         self.raw.dedup_by_key(|e| (e.u, e.v));
         let edges = self.raw;
 
@@ -180,9 +183,17 @@ impl GraphBuilder {
             cursor[e.v as usize] += 1;
         }
         // Deterministic neighbour order (ids are already endpoint-sorted).
+        // The per-vertex adjacency runs are disjoint, so they sort in
+        // parallel; entries are unique (v, w, id) triples, making the
+        // result thread-count-independent.
+        let mut runs: Vec<&mut [(u32, Weight, EdgeId)]> = Vec::with_capacity(self.n);
+        let mut rest = adj.as_mut_slice();
         for v in 0..self.n {
-            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+            let (run, tail) = rest.split_at_mut(offsets[v + 1] - offsets[v]);
+            runs.push(run);
+            rest = tail;
         }
+        runs.into_par_iter().for_each(|run| run.sort_unstable());
         Graph {
             n: self.n,
             edges,

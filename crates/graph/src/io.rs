@@ -47,22 +47,29 @@ pub fn read_edge_list<R: BufRead>(reader: R, min_n: usize) -> Result<Graph, IoEr
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
-        let (u, v) = match (parse(parts.next()), parse(parts.next())) {
-            (Some(u), Some(v)) => (u, v),
-            _ => {
-                return Err(IoError::Parse {
-                    line: idx + 1,
-                    content: trimmed.to_string(),
-                })
-            }
+        let err = || IoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
         };
-        let w = parse(parts.next()).unwrap_or(1).max(1);
+        let mut parts = trimmed.split_whitespace();
+        // Vertex ids must fit a `u32`; a larger id is malformed input, not
+        // something to silently truncate.
+        let vertex = |s: Option<&str>| -> Result<u32, IoError> {
+            s.and_then(|x| x.parse::<u64>().ok())
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(err)
+        };
+        let u = vertex(parts.next())?;
+        let v = vertex(parts.next())?;
+        // A present-but-unparsable weight is an error (a missing one
+        // defaults to 1; zero weights are clamped to 1).
+        let w = match parts.next() {
+            Some(tok) => tok.parse::<u64>().map_err(|_| err())?.max(1),
+            None => 1,
+        };
         if u == v {
             continue; // self-loops dropped, as everywhere in the library
         }
-        let (u, v) = (u as u32, v as u32);
         max_v = max_v.max(u).max(v);
         edges.push(Edge::new(u, v, w));
     }
@@ -121,6 +128,22 @@ mod tests {
         let err = read_edge_list("0 x 1\n".as_bytes(), 0).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 1, .. }));
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_vertex_id_overflowing_u32() {
+        // 2^32 does not fit a u32 vertex id; it must error, not truncate
+        // to vertex 0.
+        let err = read_edge_list("4294967296 1\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        let err = read_edge_list("0 1\n1 99999999999999999999 2\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_weight() {
+        let err = read_edge_list("0 1 heavy\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! per-round bandwidth and per-machine storage constraints. Records a
 //! machine keeps for itself are free (no self-traffic), matching the
 //! model.
+//!
+//! Parallel-safety: per-machine work (outbox assembly, local folds) runs
+//! on the rayon pool. Correctness relies on the shim's order-preserving
+//! `collect` — e.g. [`route`] delivers records in (source machine, source
+//! position) order, which [`crate::primitives::sort_by_key`]'s rebalance
+//! step depends on — so results are identical at every thread count.
 
 use rayon::prelude::*;
 
@@ -90,16 +96,26 @@ pub fn route_with<T: Record>(
 ) -> Result<Dist<T>> {
     let p = sys.machines();
     let shards = d.into_shards();
-    assert_eq!(
-        shards.len(),
-        dests.len(),
-        "one destination vector per machine"
-    );
+    if shards.len() != dests.len() {
+        return Err(MpcError::ShapeMismatch {
+            what: "destination vectors (one per machine)",
+            expected: shards.len(),
+            got: dests.len(),
+            op,
+        });
+    }
 
     let mut sent = vec![0usize; p];
     let mut received = vec![0usize; p];
     for (src, ds) in dests.iter().enumerate() {
-        assert_eq!(ds.len(), shards[src].len(), "one destination per record");
+        if ds.len() != shards[src].len() {
+            return Err(MpcError::ShapeMismatch {
+                what: "destinations (one per record)",
+                expected: shards[src].len(),
+                got: ds.len(),
+                op,
+            });
+        }
         for &dst in ds {
             if dst >= p {
                 return Err(MpcError::BadDestination {
@@ -153,7 +169,14 @@ pub fn reduce_tree<T: Record>(
     op: &'static str,
     combine: impl Fn(&T, &T) -> T,
 ) -> Result<T> {
-    assert_eq!(per_machine.len(), sys.machines(), "one summary per machine");
+    if per_machine.is_empty() || per_machine.len() != sys.machines() {
+        return Err(MpcError::ShapeMismatch {
+            what: "summaries (one per machine)",
+            expected: sys.machines(),
+            got: per_machine.len(),
+            op,
+        });
+    }
     let f = sys.cfg().fanout(T::WORDS);
     let mut level: Vec<T> = per_machine;
     while level.len() > 1 {
@@ -177,7 +200,10 @@ pub fn reduce_tree<T: Record>(
         sys.charge_round(op, T::WORDS, max_recv, total)?;
         level = next;
     }
-    Ok(level.into_iter().next().expect("non-empty reduction"))
+    Ok(level
+        .into_iter()
+        .next()
+        .expect("reduction of >=1 summaries is non-empty"))
 }
 
 /// Tree broadcast (the paper's **Broadcast** subroutine): replicates a
@@ -251,7 +277,14 @@ pub fn machine_scan<T: Record>(
     combine: impl Fn(&T, &T) -> T + Copy,
 ) -> Result<Vec<T>> {
     let p = per_machine.len();
-    assert_eq!(p, sys.machines(), "one summary per machine");
+    if p != sys.machines() {
+        return Err(MpcError::ShapeMismatch {
+            what: "summaries (one per machine)",
+            expected: sys.machines(),
+            got: p,
+            op,
+        });
+    }
     if p == 0 {
         return Ok(vec![]);
     }
@@ -339,6 +372,29 @@ mod tests {
             err,
             MpcError::BandwidthExceeded { .. } | MpcError::MemoryExceeded { .. }
         ));
+    }
+
+    #[test]
+    fn route_with_rejects_mis_shaped_destinations() {
+        // Wrong number of destination vectors.
+        let mut s = sys(16, 2, 1);
+        let d = Dist::distribute(&mut s, vec![1u64, 2]).unwrap();
+        let err = route_with(&mut s, d, "t", &[vec![0]]).unwrap_err();
+        assert!(matches!(err, MpcError::ShapeMismatch { .. }));
+        // Wrong number of destinations for one machine's records.
+        let mut s = sys(16, 2, 1);
+        let d = Dist::distribute(&mut s, vec![1u64, 2]).unwrap();
+        let err = route_with(&mut s, d, "t", &[vec![0, 0, 0], vec![1]]).unwrap_err();
+        assert!(matches!(err, MpcError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn tree_primitives_reject_wrong_summary_count() {
+        let mut s = sys(16, 4, 1);
+        let err = reduce_tree(&mut s, vec![1u64, 2], "min", |a, b| *a.min(b)).unwrap_err();
+        assert!(matches!(err, MpcError::ShapeMismatch { .. }));
+        let err = machine_scan(&mut s, vec![1u64], 0, "scan", |a, b| a + b).unwrap_err();
+        assert!(matches!(err, MpcError::ShapeMismatch { .. }));
     }
 
     #[test]

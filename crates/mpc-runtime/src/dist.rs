@@ -7,6 +7,10 @@
 //! per-machine memory constraint because local transforms can grow data.
 //! Anything that moves records across machines lives in [`crate::comm`]
 //! and [`crate::primitives`] and charges rounds.
+//!
+//! The "machines" execute concurrently on the rayon pool (shards are
+//! disjoint, closures are `Sync`, and collects preserve shard order), so
+//! every operation is deterministic regardless of `RAYON_NUM_THREADS`.
 
 use rayon::prelude::*;
 
@@ -162,11 +166,14 @@ impl<T: Record> Dist<T> {
     /// Machine-local union: shard-wise concatenation (0 rounds — both
     /// collections already live on the same machines). Validates storage.
     pub fn union(&self, sys: &mut MpcSystem, other: &Dist<T>) -> Result<Dist<T>> {
-        assert_eq!(
-            self.shards.len(),
-            other.shards.len(),
-            "collections belong to deployments of different sizes"
-        );
+        if self.shards.len() != other.shards.len() {
+            return Err(MpcError::ShapeMismatch {
+                what: "shards (collections from deployments of different sizes)",
+                expected: self.shards.len(),
+                got: other.shards.len(),
+                op: "union",
+            });
+        }
         let shards: Vec<Vec<T>> = self
             .shards
             .par_iter()

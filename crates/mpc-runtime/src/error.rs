@@ -45,6 +45,18 @@ pub enum MpcError {
         /// Number of machines.
         num_machines: usize,
     },
+    /// A caller-supplied collection has the wrong shape for the deployment
+    /// (e.g. a per-machine vector whose length is not the machine count).
+    ShapeMismatch {
+        /// What was mis-shaped.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+        /// Primitive that rejected the input.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for MpcError {
@@ -65,6 +77,15 @@ impl fmt::Display for MpcError {
             MpcError::BadDestination { dest, num_machines } => write!(
                 f,
                 "routing produced destination {dest} but there are only {num_machines} machines"
+            ),
+            MpcError::ShapeMismatch {
+                what,
+                expected,
+                got,
+                op,
+            } => write!(
+                f,
+                "{op}: expected {expected} {what}, got {got}"
             ),
         }
     }
@@ -103,5 +124,13 @@ mod tests {
             num_machines: 4,
         };
         assert!(e.to_string().contains("9"));
+        let e = MpcError::ShapeMismatch {
+            what: "summaries (one per machine)",
+            expected: 4,
+            got: 2,
+            op: "scan",
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 2"));
     }
 }

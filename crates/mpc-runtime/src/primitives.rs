@@ -364,11 +364,16 @@ pub fn global_max<T: Record>(
 /// (returns it; charges the tree rounds).
 pub fn broadcast_value<T: Record>(sys: &mut MpcSystem, v: T, op: &'static str) -> Result<T> {
     let copies = broadcast_all(sys, vec![v], op)?;
-    Ok(copies
+    copies
         .into_iter()
         .next()
         .and_then(|mut c| c.pop())
-        .expect("broadcast returns the payload"))
+        .ok_or(crate::MpcError::ShapeMismatch {
+            what: "broadcast copies (one per machine)",
+            expected: 1,
+            got: 0,
+            op,
+        })
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Determinism-under-parallelism properties: every parallelized MPC
+//! primitive must produce **bit-identical output and identical round
+//! accounting** whether the rayon shim splits work across 1 thread or 8.
+//! This pins the shim's order-preserving-collect contract at the level
+//! the simulator actually depends on (the CI matrix re-runs the whole
+//! suite under `RAYON_NUM_THREADS={1,4}` for the same reason).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mpc_spanners::mpc::primitives::{aggregate_by_key, forward_fill, sort_by_key};
+use mpc_spanners::mpc::{Dist, MpcConfig, MpcSystem};
+
+/// Runs `f` with the shim's parallel splitting capped at `threads`.
+fn at_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+/// A deployment generous enough that none of the generated inputs hit a
+/// memory or bandwidth constraint (those paths are covered elsewhere).
+fn sys_for(len: usize, machines: usize) -> MpcSystem {
+    let words = (8 * len.div_ceil(machines) + 64).max(64);
+    MpcSystem::new(MpcConfig::explicit(words, machines, 8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sort_by_key_is_thread_count_invariant(
+        data in proptest::collection::vec(0u64..1000, 0..400),
+        machines in 2usize..12,
+    ) {
+        let run = || {
+            let mut s = sys_for(data.len(), machines);
+            let d = Dist::distribute(&mut s, data.clone()).unwrap();
+            let out = sort_by_key(&mut s, d, "sort", |&x| x).unwrap();
+            let shard_sizes: Vec<usize> = out.shards().iter().map(Vec::len).collect();
+            (out.collect_out_of_model(), shard_sizes, s.rounds())
+        };
+        let seq = at_threads(1, run);
+        let par = at_threads(8, run);
+        prop_assert_eq!(&seq, &par, "sort output/layout/rounds must not depend on thread count");
+        let mut expect = data.clone();
+        expect.sort();
+        prop_assert_eq!(seq.0, expect);
+    }
+
+    #[test]
+    fn aggregate_by_key_is_thread_count_invariant(
+        data in proptest::collection::vec((0u64..50, 0u64..1_000_000), 0..300),
+        machines in 2usize..12,
+    ) {
+        let run = || {
+            let mut s = sys_for(data.len(), machines);
+            let d = Dist::distribute(&mut s, data.clone()).unwrap();
+            let out = aggregate_by_key(&mut s, d, "agg", |r| r.0, |r| r.1, |a, b| *a.min(b)).unwrap();
+            (out.collect_out_of_model(), s.rounds())
+        };
+        let seq = at_threads(1, run);
+        let par = at_threads(8, run);
+        prop_assert_eq!(&seq, &par, "aggregate output must not depend on thread count");
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(k, v) in &data {
+            reference.entry(k).and_modify(|m| *m = v.min(*m)).or_insert(v);
+        }
+        let mut flat = seq.0;
+        flat.sort();
+        prop_assert_eq!(flat, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forward_fill_is_thread_count_invariant(
+        spec in proptest::collection::vec((0u64..100, 0u64..2), 1..300),
+        machines in 2usize..12,
+    ) {
+        // (value, MAX) records are group leaders; (0, 0) records inherit
+        // the nearest leader value to their left.
+        let recs: Vec<(u64, u64)> = spec
+            .iter()
+            .map(|&(v, is_leader)| if is_leader == 1 { (v, u64::MAX) } else { (0, 0) })
+            .collect();
+        let run = || {
+            let mut s = sys_for(recs.len(), machines);
+            let mut d = Dist::distribute(&mut s, recs.clone()).unwrap();
+            forward_fill(
+                &mut s,
+                &mut d,
+                "fill",
+                |r| if r.1 == u64::MAX { Some(r.0) } else { None },
+                |r, &u| r.1 = u,
+            )
+            .unwrap();
+            (d.collect_out_of_model(), s.rounds())
+        };
+        let seq = at_threads(1, run);
+        let par = at_threads(8, run);
+        prop_assert_eq!(&seq, &par, "forward_fill output must not depend on thread count");
+        // Sequential reference: plain left-to-right scan.
+        let mut reference = recs.clone();
+        let mut carry: Option<u64> = None;
+        for r in &mut reference {
+            if r.1 == u64::MAX {
+                carry = Some(r.0);
+            } else if let Some(c) = carry {
+                r.1 = c;
+            }
+        }
+        prop_assert_eq!(seq.0, reference);
+    }
+}

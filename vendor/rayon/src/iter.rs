@@ -1,0 +1,639 @@
+//! Parallel iterators: chunked, order-preserving, pool-executed.
+//!
+//! Execution model: a pipeline (`par_iter().map(…).filter(…)`) stays lazy
+//! until a terminal operation (`collect`, `for_each`, `sum`, `count`)
+//! *drives* it. Driving splits the **base** (slice, `Vec`, integer range)
+//! into contiguous chunks — a few per pool thread, see `chunk_cuts` —
+//! and runs the composed per-item closure chain over each chunk as one
+//! pool task. Chunk results come back in chunk order, so `collect`
+//! preserves the sequential order exactly: any pipeline of `map`,
+//! `filter`, `flat_map`, `zip` and `enumerate` produces bit-identical
+//! output at every thread count. That determinism is load-bearing for the
+//! MPC simulator (round accounting compares exact record layouts) and is
+//! pinned by `tests/parallel_determinism.rs` at the workspace root.
+
+use std::ops::Range;
+
+use crate::pool::{self, Task};
+
+/// How many chunks each pool thread gets. >1 so that uneven per-item cost
+/// (e.g. one heavy shard) load-balances across threads.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Ascending chunk end-positions covering `0..len` (empty for `len == 0`,
+/// a single chunk when the effective thread count is 1).
+pub(crate) fn chunk_cuts(len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = pool::current_num_threads();
+    if threads <= 1 {
+        return vec![len];
+    }
+    let chunks = (threads * CHUNKS_PER_THREAD).min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut cuts = Vec::with_capacity(chunks);
+    let mut end = 0;
+    for i in 0..chunks {
+        end += base + usize::from(i < extra);
+        cuts.push(end);
+    }
+    cuts
+}
+
+/// A lazy parallel pipeline. The one required method, [`drive`], executes
+/// the pipeline chunk-wise on the pool; every adapter and terminal
+/// operation is built on it.
+///
+/// [`drive`]: ParallelIterator::drive
+pub trait ParallelIterator: Sized + Send {
+    /// The element type flowing out of this pipeline stage.
+    type Item: Send;
+
+    /// Executes the pipeline: calls `consumer` once per chunk (in
+    /// parallel), handing it the number of *base* items preceding the
+    /// chunk and a sequential iterator over the chunk's items, and
+    /// returns the per-chunk results **in chunk order**.
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync;
+
+    /// Parallel `map`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel `filter`.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Parallel `flat_map`.
+    fn flat_map<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Send + Sync,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Calls `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        self.drive(&|_, it| {
+            for x in it {
+                f(x);
+            }
+        });
+    }
+
+    /// Collects into `C`, preserving the sequential order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Parallel sum (chunk partial sums, then a sequential fold of the
+    /// partials in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        self.drive(&|_, it| it.sum::<S>()).into_iter().sum()
+    }
+
+    /// Number of items produced by the pipeline.
+    fn count(self) -> usize {
+        self.drive(&|_, it| it.count()).into_iter().sum()
+    }
+}
+
+/// A pipeline whose length is known and whose base can be split at exact
+/// positions — the requirement for position-dependent adapters, mirroring
+/// rayon's `IndexedParallelIterator`. Only the base types (slices, `Vec`s,
+/// integer ranges) are indexed here, which is where the in-tree call sites
+/// use `zip`/`enumerate`.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The sequential iterator over one chunk.
+    type ChunkIter: Iterator<Item = Self::Item> + Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the pipeline is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into per-chunk sequential iterators at the given ascending
+    /// end positions (each ≤ `len`; items past the last cut are dropped).
+    fn split_chunks(self, cuts: &[usize]) -> Vec<Self::ChunkIter>;
+
+    /// Pairs up with `other` item-by-item (truncating to the shorter
+    /// side), keeping the pairing identical at every thread count.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches each item's global position.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+}
+
+/// Drives an indexed base: splits it with [`chunk_cuts`] and runs one pool
+/// task per chunk.
+fn drive_indexed<I, R, C>(it: I, consumer: &C) -> Vec<R>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    C: Fn(usize, &mut dyn Iterator<Item = I::Item>) -> R + Sync,
+{
+    let cuts = chunk_cuts(it.len());
+    let chunks = it.split_chunks(&cuts);
+    let mut tasks: Vec<Task<'_, R>> = Vec::with_capacity(chunks.len());
+    let mut start = 0;
+    for (chunk, &end) in chunks.into_iter().zip(&cuts) {
+        let offset = start;
+        start = end;
+        tasks.push(Box::new(move || {
+            let mut it = chunk;
+            consumer(offset, &mut it)
+        }));
+    }
+    pool::run_batch(tasks)
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (rayon's entry points).
+// ---------------------------------------------------------------------------
+
+/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// The parallel iterator over the items.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator that consumes `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// By-reference conversion, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type produced (typically `&'data T`).
+    type Item: Send + 'data;
+    /// The parallel iterator over the items.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Mutable by-reference conversion, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The item type produced (typically `&'data mut T`).
+    type Item: Send + 'data;
+    /// The parallel iterator over the items.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+/// Order-preserving parallel collection, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds `Self` from the pipeline's items, in sequential order.
+    fn from_par_iter<I>(it: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(it: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let chunks = it.drive(&|_, items| items.collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bases: slices, mutable slices, owned vectors, integer ranges.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<'data, T: Sync> IndexedParallelIterator for SliceIter<'data, T> {
+    type ChunkIter = std::slice::Iter<'data, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_chunks(self, cuts: &[usize]) -> Vec<Self::ChunkIter> {
+        let mut out = Vec::with_capacity(cuts.len());
+        let mut start = 0;
+        for &end in cuts {
+            out.push(self.slice[start..end].iter());
+            start = end;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<'data, T: Send> IndexedParallelIterator for SliceIterMut<'data, T> {
+    type ChunkIter = std::slice::IterMut<'data, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_chunks(self, cuts: &[usize]) -> Vec<Self::ChunkIter> {
+        let mut out = Vec::with_capacity(cuts.len());
+        let mut rest = self.slice;
+        let mut start = 0;
+        for &end in cuts {
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            out.push(chunk.iter_mut());
+            rest = tail;
+            start = end;
+        }
+        out
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>`.
+pub struct VecIntoIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIntoIter<T> {
+    type Item = T;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecIntoIter<T> {
+    type ChunkIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_chunks(mut self, cuts: &[usize]) -> Vec<Self::ChunkIter> {
+        // Split off from the back so each `split_off` is O(chunk).
+        self.vec.truncate(cuts.last().copied().unwrap_or(0));
+        let mut out = Vec::with_capacity(cuts.len());
+        let mut starts = vec![0];
+        starts.extend_from_slice(&cuts[..cuts.len().saturating_sub(1)]);
+        for &start in starts.iter().rev() {
+            out.push(self.vec.split_off(start).into_iter());
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecIntoIter { vec: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn drive<R, C>(self, consumer: &C) -> Vec<R>
+            where
+                R: Send,
+                C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+            {
+                drive_indexed(self, consumer)
+            }
+        }
+
+        impl IndexedParallelIterator for RangeIter<$t> {
+            type ChunkIter = Range<$t>;
+            fn len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+            fn split_chunks(self, cuts: &[usize]) -> Vec<Self::ChunkIter> {
+                let mut out = Vec::with_capacity(cuts.len());
+                let mut start = self.range.start;
+                for &end in cuts {
+                    let chunk_end = self.range.start + end as $t;
+                    out.push(start..chunk_end);
+                    start = chunk_end;
+                }
+                out
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+range_impl!(u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` (see [`ParallelIterator::map`]).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        let f = self.f;
+        self.base.drive(&|offset, items| {
+            let mut mapped = items.map(&f);
+            consumer(offset, &mut mapped)
+        })
+    }
+}
+
+/// Parallel `filter` (see [`ParallelIterator::filter`]).
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Send + Sync,
+{
+    type Item = B::Item;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        let f = self.f;
+        self.base.drive(&|offset, items| {
+            let mut filtered = items.filter(|x| f(x));
+            consumer(offset, &mut filtered)
+        })
+    }
+}
+
+/// Parallel `flat_map` (see [`ParallelIterator::flat_map`]).
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, I> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(B::Item) -> I + Send + Sync,
+{
+    type Item = I::Item;
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        let f = self.f;
+        self.base.drive(&|offset, items| {
+            let mut flat = items.flat_map(|x| f(x).into_iter());
+            consumer(offset, &mut flat)
+        })
+    }
+}
+
+/// Position-tagging adapter (see [`IndexedParallelIterator::enumerate`]).
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: IndexedParallelIterator,
+{
+    type Item = (usize, B::Item);
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        self.base.drive(&|offset, items| {
+            let mut numbered = items.enumerate().map(|(i, x)| (offset + i, x));
+            consumer(offset, &mut numbered)
+        })
+    }
+}
+
+/// Pairing adapter (see [`IndexedParallelIterator::zip`]). Both sides are
+/// split at identical positions, so pairing matches the sequential zip.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(usize, &mut dyn Iterator<Item = Self::Item>) -> R + Sync,
+    {
+        let cuts = chunk_cuts(self.a.len().min(self.b.len()));
+        let a_chunks = self.a.split_chunks(&cuts);
+        let b_chunks = self.b.split_chunks(&cuts);
+        let mut tasks: Vec<Task<'_, R>> = Vec::with_capacity(cuts.len());
+        let mut start = 0;
+        for ((ac, bc), &end) in a_chunks.into_iter().zip(b_chunks).zip(&cuts) {
+            let offset = start;
+            start = end;
+            tasks.push(Box::new(move || {
+                let mut zipped = ac.zip(bc);
+                consumer(offset, &mut zipped)
+            }));
+        }
+        pool::run_batch(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_cuts_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 100, 4096, 100_001] {
+            let cuts = chunk_cuts(len);
+            if len == 0 {
+                assert!(cuts.is_empty());
+                continue;
+            }
+            assert_eq!(*cuts.last().unwrap(), len, "cuts must end at len");
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+            assert!(
+                cuts.len() <= pool::current_num_threads() * CHUNKS_PER_THREAD,
+                "at most a few chunks per thread"
+            );
+            // Near-even: chunk sizes differ by at most one.
+            let mut sizes = Vec::new();
+            let mut prev = 0;
+            for &c in &cuts {
+                sizes.push(c - prev);
+                prev = c;
+            }
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "len {len}: uneven chunks {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn split_chunks_partition_vec_in_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let cuts = vec![100, 400, 1000];
+        let chunks = v.clone().into_par_iter().split_chunks(&cuts);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn split_chunks_partition_slice_and_ranges() {
+        let v: Vec<u64> = (0..100).collect();
+        let cuts = vec![1, 99, 100];
+        let flat: Vec<u64> = SliceIter { slice: &v }
+            .split_chunks(&cuts)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        assert_eq!(flat, v);
+        let flat: Vec<u32> = (10u32..110)
+            .into_par_iter()
+            .split_chunks(&cuts)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(flat, (10u32..110).collect::<Vec<_>>());
+    }
+}

@@ -1,121 +1,157 @@
-//! Sequential, dependency-free shim for the subset of [rayon] this
-//! workspace uses (`par_iter`, `par_iter_mut`, `into_par_iter` and the
-//! standard iterator adapters chained on them).
+//! Work-pool-backed, dependency-free shim for the subset of [rayon] this
+//! workspace uses — **genuinely parallel**, unlike the sequential
+//! stand-in it replaces.
 //!
 //! The build environment has no registry access, so the real rayon cannot
 //! be fetched; this shim keeps every call site source-compatible while
-//! executing sequentially. Swapping in the real crate is a one-line
-//! `Cargo.toml` change — no source edits — because every `par_*` method
-//! here returns a plain [`std::iter::Iterator`], a strict subset of
-//! rayon's `ParallelIterator` contract for the adapters used in-tree
-//! (`map`, `filter`, `flat_map`, `zip`, `enumerate`, `for_each`,
-//! `collect`).
+//! executing on a lazily-initialized global pool of `std::thread` workers
+//! (size from `RAYON_NUM_THREADS`, default `available_parallelism()` with
+//! a floor of 2; see `src/pool.rs`). Swapping in the real crate remains a
+//! one-line `Cargo.toml` change — no source edits — because the surface
+//! here mirrors rayon's:
+//!
+//! * [`prelude`] conversion traits: `par_iter`, `par_iter_mut`,
+//!   `into_par_iter` on slices, `Vec`s and integer ranges;
+//! * the adapters used in-tree: `map`, `filter`, `flat_map`, `zip`,
+//!   `enumerate`, `for_each`, `collect`, `sum`, `count`;
+//! * [`join`] for two-way fork–join;
+//! * [`slice::ParallelSliceMut`]: `par_sort_by`, `par_sort_by_key`,
+//!   `par_sort_unstable_by_key`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], supported exactly
+//!   far enough to pin down thread-count-independence in tests and to
+//!   run thread-scaling benchmarks in one process.
+//!
+//! **Determinism contract:** every pipeline built from the adapters above
+//! collects in the exact sequential order (chunks are contiguous and
+//! concatenated in order), so outputs are bit-identical at every thread
+//! count. The MPC simulator's round accounting depends on this; it is
+//! pinned by the workspace-root `tests/parallel_determinism.rs` and by
+//! the unit tests in [`iter`].
+//!
+//! Known divergences from the real crate, accepted for a ~1 kLoC shim:
+//! `enumerate`/`zip` are only available directly on indexed bases (which
+//! is rayon's `IndexedParallelIterator` requirement anyway), reductions
+//! beyond `sum`/`count` are omitted, `par_sort_unstable_by_key` sorts
+//! stably (see its docs), and `ThreadPool::install` caps the splitting
+//! width *and concurrency* of parallel calls issued by the *calling
+//! thread* rather than moving work to a dedicated pool.
 //!
 //! [rayon]: https://docs.rs/rayon
 
-/// Marker alias so code may write `impl ParallelIterator` bounds; with the
-/// sequential shim every [`Iterator`] qualifies.
-pub trait ParallelIterator: Iterator + Sized {}
-impl<I: Iterator> ParallelIterator for I {}
+pub mod iter;
+mod pool;
+pub mod slice;
 
-/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    /// The item type produced.
-    type Item;
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Sequential stand-in for rayon's `into_par_iter`.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    #[inline]
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// By-reference conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator<'data> {
-    /// The item type produced (typically `&'data T`).
-    type Item: 'data;
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Sequential stand-in for rayon's `par_iter`.
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-{
-    type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    #[inline]
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Mutable by-reference conversion, mirroring
-/// `rayon::iter::IntoParallelRefMutIterator`.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// The item type produced (typically `&'data mut T`).
-    type Item: 'data;
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Sequential stand-in for rayon's `par_iter_mut`.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-{
-    type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    #[inline]
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
+pub use pool::current_num_threads;
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude`.
-    pub use super::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
+    pub use crate::slice::ParallelSliceMut;
 }
 
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
+#[doc(hidden)]
+enum Either<A, B> {
+    L(A),
+    R(B),
+}
 
-    #[test]
-    fn par_iter_matches_iter() {
-        let v = vec![1u64, 2, 3, 4];
-        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
+/// Runs both closures, potentially in parallel (one of them on the
+/// calling thread), and returns both results. Mirrors `rayon::join`.
+///
+/// Both sides always execute, even if one panics; a panic is re-raised on
+/// the caller after both have finished (left side first if both panic).
+///
+/// ```
+/// let (a, b) = rayon::join(|| 2 + 2, || "ok");
+/// assert_eq!((a, b), (4, "ok"));
+/// ```
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut results = pool::run_batch(vec![
+        Box::new(move || Either::L(oper_a())) as pool::Task<'_, Either<RA, RB>>,
+        Box::new(move || Either::R(oper_b())),
+    ]);
+    let rb = match results.pop() {
+        Some(Either::R(rb)) => rb,
+        _ => unreachable!("join results arrive in task order"),
+    };
+    let ra = match results.pop() {
+        Some(Either::L(ra)) => ra,
+        _ => unreachable!("join results arrive in task order"),
+    };
+    (ra, rb)
+}
+
+/// Builder for a [`ThreadPool`] handle, mirroring
+/// `rayon::ThreadPoolBuilder` far enough for tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    #[test]
-    fn into_par_iter_consumes() {
-        let total: u64 = vec![1u64, 2, 3].into_par_iter().sum();
-        assert_eq!(total, 6);
+    /// Sets the thread count `install` will enforce (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
     }
 
-    #[test]
-    fn par_iter_mut_mutates() {
-        let mut v = vec![1u64, 2, 3];
-        v.par_iter_mut().for_each(|x| *x += 10);
-        assert_eq!(v, vec![11, 12, 13]);
+    /// Builds the pool handle. Infallible in this shim; the `Result`
+    /// mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        let n = if self.num_threads == 0 {
+            pool::current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A handle that scopes parallel execution to a fixed thread count.
+///
+/// Unlike the real rayon, this does not own dedicated worker threads: the
+/// global pool serves everyone, and [`install`](ThreadPool::install)
+/// instead caps parallel operations *started inside the closure on this
+/// thread* — both how many chunks they split into and how many threads
+/// execute them concurrently (a batch admits at most `n − 1` workers
+/// besides the caller). A cap of 1 yields exact sequential execution on
+/// the calling thread. That is precisely the lever the determinism tests
+/// and the thread-scaling benchmarks need.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count this handle enforces.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
     }
 
-    #[test]
-    fn range_into_par_iter() {
-        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
-        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    /// Runs `op` with parallel operations capped to this handle's thread
+    /// count.
+    ///
+    /// ```
+    /// let seq = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    /// let n = seq.install(|| rayon::current_num_threads());
+    /// assert_eq!(n, 1);
+    /// ```
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        pool::with_thread_cap(self.num_threads, op)
     }
 }

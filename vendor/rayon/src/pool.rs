@@ -1,0 +1,280 @@
+//! The global worker pool behind every parallel operation in this shim.
+//!
+//! Architecture: a lazily-initialized set of `std::thread` workers blocked
+//! on a shared FIFO of *tickets*. A parallel operation packages its chunk
+//! tasks into a [`Batch`], enqueues one ticket per task, and then
+//! participates itself: the calling thread claims and runs tasks of its own
+//! batch until none are left unclaimed, then blocks until the stragglers
+//! (tasks claimed by workers) finish. Because a caller always makes
+//! progress on its own batch, nested parallel calls (a task that itself
+//! fans out) cannot deadlock even when every worker is busy.
+//!
+//! Pool size: `RAYON_NUM_THREADS` if set to a positive integer, otherwise
+//! `std::thread::available_parallelism()` with a floor of 2 so that
+//! parallel execution is genuinely exercised even on single-core CI
+//! runners. The calling thread counts as one of the pool's threads, so a
+//! pool of size `n` spawns `n − 1` workers — and a pool of size 1 spawns
+//! none and runs every task inline on the caller, which is the zero-
+//! overhead sequential baseline the benchmarks compare against.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A boxed chunk task: runs once, produces one `R`.
+pub(crate) type Task<'scope, R> = Box<dyn FnOnce() -> R + Send + 'scope>;
+
+/// Type-erased handle through which a worker executes one claimed task of
+/// some batch without knowing its result type.
+trait RunOne: Send + Sync {
+    /// Claims the next unclaimed task and runs it. Returns `false` when
+    /// every task of the batch has already been claimed.
+    fn run_one(&self) -> bool;
+}
+
+struct Inner {
+    queue: Mutex<VecDeque<Arc<dyn RunOne>>>,
+    /// Signalled when tickets are enqueued.
+    available: Condvar,
+}
+
+struct Pool {
+    inner: Arc<Inner>,
+    /// Total pool size, *including* the calling thread.
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn configured_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2),
+    }
+}
+
+fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..threads.saturating_sub(1) {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("failed to spawn rayon shim worker");
+        }
+        Pool { inner, threads }
+    })
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let ticket = {
+            let mut q = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = inner.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // Serve the ticket's batch until it is drained. Task panics are
+        // caught inside `run_one` and reported to the submitting thread;
+        // they never unwind the worker.
+        while ticket.run_one() {}
+    }
+}
+
+thread_local! {
+    /// Per-thread parallelism override installed by
+    /// [`crate::ThreadPool::install`]; `None` means "use the global pool
+    /// size". Consulted by chunk splitting, so it bounds how many tasks a
+    /// parallel operation fans out into.
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations started from this thread will
+/// split across (the `install`ed override if any, else the global pool
+/// size).
+pub fn current_num_threads() -> usize {
+    THREAD_CAP
+        .with(Cell::get)
+        .unwrap_or_else(|| global().threads)
+}
+
+/// Runs `f` with [`current_num_threads`] forced to `n`; restores the
+/// previous value afterwards (also on panic).
+pub(crate) fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// One submitted parallel operation: its tasks, their result slots, and
+/// the claim/completion bookkeeping.
+struct Batch<'scope, R> {
+    tasks: Vec<Mutex<Option<Task<'scope, R>>>>,
+    results: Vec<Mutex<Option<thread::Result<R>>>>,
+    /// Next unclaimed task index; `fetch_add` hands out each index to
+    /// exactly one thread.
+    cursor: AtomicUsize,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<R: Send> Batch<'_, R> {
+    fn run_claimed(&self) -> bool {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= self.tasks.len() {
+            return false;
+        }
+        let task = self.tasks[i]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("task claimed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(task));
+        *self.results[i].lock().expect("result slot poisoned") = Some(res);
+        let mut rem = self.remaining.lock().expect("batch counter poisoned");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+        true
+    }
+}
+
+impl<R: Send> RunOne for Batch<'_, R> {
+    fn run_one(&self) -> bool {
+        self.run_claimed()
+    }
+}
+
+/// Runs every task, spread over the pool plus the calling thread, and
+/// returns their results **in task order**. If any task panicked, the
+/// first panic (in task order) resumes on the caller after all tasks have
+/// finished.
+pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -> Vec<R> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = current_num_threads();
+    if n == 1 || cap <= 1 {
+        // Sequential fast path: no queueing, no synchronization. This is
+        // both the `RAYON_NUM_THREADS=1` baseline and the tiny-input
+        // shortcut. Panic semantics match the parallel path: every task
+        // runs, then the first panic (in task order) is rethrown.
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for task in tasks {
+            match panic::catch_unwind(AssertUnwindSafe(task)) {
+                Ok(r) => out.push(r),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            panic::resume_unwind(p);
+        }
+        return out;
+    }
+
+    let pool = global();
+    let batch: Arc<Batch<'scope, R>> = Arc::new(Batch {
+        results: tasks.iter().map(|_| Mutex::new(None)).collect(),
+        tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        cursor: AtomicUsize::new(0),
+        remaining: Mutex::new(n),
+        done: Condvar::new(),
+    });
+
+    // SAFETY: the queue stores `'static` tickets, but this batch borrows
+    // `'scope` data. The transmute is sound because this function does not
+    // return until (a) every task has run (`remaining == 0`) and (b) no
+    // worker still holds a ticket clone (`strong_count == 1`), so no
+    // borrow escapes `'scope`.
+    let ticket: Arc<dyn RunOne + 'scope> = batch.clone();
+    let ticket: Arc<dyn RunOne + 'static> = unsafe { std::mem::transmute(ticket) };
+    // Each ticket admits ONE worker, which then serves the batch until it
+    // is drained — so enqueueing `cap - 1` tickets (the caller is the
+    // cap'th thread) bounds the batch's true concurrency to `cap`. That
+    // is what makes a `ThreadPool::install(n)` cap mean "runs on at most
+    // n threads" rather than merely "splits into n·CHUNKS chunks".
+    let tickets = n.min(cap - 1);
+    {
+        let mut q = pool.inner.queue.lock().expect("pool queue poisoned");
+        for _ in 0..tickets {
+            q.push_back(Arc::clone(&ticket));
+        }
+    }
+    pool.inner.available.notify_all();
+
+    // The caller works through its own batch instead of idling…
+    while batch.run_claimed() {}
+    // …then waits for tasks claimed by workers.
+    {
+        let mut rem = batch.remaining.lock().expect("batch counter poisoned");
+        while *rem > 0 {
+            rem = batch.done.wait(rem).expect("batch counter poisoned");
+        }
+    }
+    // Remove this batch's leftover tickets (tasks the caller claimed
+    // directly never consume their queued ticket). Without this, a nested
+    // batch run *from a worker* could leave tickets nobody ever pops —
+    // and the strong-count wait below would spin forever.
+    {
+        let mut q = pool.inner.queue.lock().expect("pool queue poisoned");
+        q.retain(|t| !Arc::ptr_eq(t, &ticket));
+    }
+    drop(ticket);
+    while Arc::strong_count(&batch) > 1 {
+        thread::yield_now();
+    }
+    let batch = match Arc::try_unwrap(batch) {
+        Ok(b) => b,
+        Err(_) => unreachable!("all ticket clones were dropped"),
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic = None;
+    for slot in batch.results {
+        let res = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("every task ran to completion");
+        match res {
+            Ok(r) => out.push(r),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        panic::resume_unwind(p);
+    }
+    out
+}

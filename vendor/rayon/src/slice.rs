@@ -1,0 +1,99 @@
+//! Parallel sorting for mutable slices, mirroring the subset of
+//! `rayon::slice::ParallelSliceMut` the workspace uses.
+//!
+//! Strategy: split the slice into a few runs per pool thread, sort the
+//! runs in parallel (each run is a disjoint `&mut` chunk, so this is
+//! safe code), then finish with one sequential pass of the standard
+//! library's stable sort — a natural-run mergesort that detects the
+//! presorted runs and completes in near-linear time, so the
+//! `O(n log n)` comparison work happens on the pool. Every method
+//! (including the `unstable`-named one, see its docs) sorts stably, so
+//! results are bit-identical to the sequential stable sort at every
+//! thread count.
+
+use std::cmp::Ordering;
+
+use crate::iter::chunk_cuts;
+use crate::pool::{self, Task};
+
+/// Sorts each `cuts`-delimited chunk of `v` in parallel with `sort_chunk`.
+fn sort_runs<T, F>(v: &mut [T], cuts: &[usize], sort_chunk: &F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let mut tasks: Vec<Task<'_, ()>> = Vec::with_capacity(cuts.len());
+    let mut rest = v;
+    let mut start = 0;
+    for &end in cuts {
+        let (chunk, tail) = rest.split_at_mut(end - start);
+        rest = tail;
+        start = end;
+        tasks.push(Box::new(move || sort_chunk(chunk)));
+    }
+    pool::run_batch(tasks);
+}
+
+/// Below this length the per-task overhead outweighs the parallel sort
+/// work; fall through to the sequential sort directly.
+const PAR_SORT_MIN_LEN: usize = 2048;
+
+/// Parallel sorting methods for `[T]`, the shim's stand-in for
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// The slice being sorted.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Parallel **stable** sort with a comparator; same ordering guarantees
+    /// as [`slice::sort_by`].
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let v = self.as_parallel_slice_mut();
+        if v.len() < PAR_SORT_MIN_LEN || pool::current_num_threads() <= 1 {
+            v.sort_by(|a, b| compare(a, b));
+            return;
+        }
+        let cuts = chunk_cuts(v.len());
+        sort_runs(v, &cuts, &|chunk: &mut [T]| {
+            chunk.sort_by(|a, b| compare(a, b))
+        });
+        v.sort_by(|a, b| compare(a, b));
+    }
+
+    /// Parallel **stable** sort by key; same ordering guarantees as
+    /// [`slice::sort_by_key`].
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+
+    /// Parallel sort by key with the **unstable-sort contract** of
+    /// [`slice::sort_unstable_by_key`].
+    ///
+    /// Implemented as the stable [`ParallelSliceMut::par_sort_by_key`]:
+    /// stability satisfies a superset of the unstable contract, and it is
+    /// what keeps equal-key orderings bit-identical at every thread count
+    /// (and across the parallel-threshold boundary) — the crate-wide
+    /// determinism contract. The real rayon is genuinely unstable here;
+    /// after swapping it in, call sites that need cross-thread-count
+    /// determinism must use keys that are unique per item (the in-tree
+    /// ones already do).
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by_key(key);
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}

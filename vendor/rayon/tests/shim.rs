@@ -1,0 +1,304 @@
+//! Behavioural tests for the parallel shim: order preservation,
+//! multi-thread execution, panic propagation, `join`, sorting, and the
+//! `ThreadPool::install` thread-cap used by the determinism suite.
+
+use std::collections::HashSet;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+fn pool_with(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn par_iter_matches_iter() {
+    let v: Vec<u64> = (0..10_000).collect();
+    let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+    let expect: Vec<u64> = v.iter().map(|&x| x * 2).collect();
+    assert_eq!(doubled, expect);
+}
+
+#[test]
+fn into_par_iter_consumes_and_sums() {
+    let total: u64 = (0..1000u64).collect::<Vec<_>>().into_par_iter().sum();
+    assert_eq!(total, 499_500);
+}
+
+#[test]
+fn par_iter_mut_mutates_every_item() {
+    let mut v: Vec<u64> = (0..5000).collect();
+    v.par_iter_mut().for_each(|x| *x += 10);
+    assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 10));
+}
+
+#[test]
+fn range_into_par_iter() {
+    let squares: Vec<usize> = (0..5000usize).into_par_iter().map(|i| i * i).collect();
+    assert_eq!(squares.len(), 5000);
+    assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+}
+
+#[test]
+fn enumerate_offsets_are_global() {
+    let v: Vec<u32> = (0..10_000).collect();
+    let pairs: Vec<(usize, u32)> = v.into_par_iter().enumerate().map(|(i, x)| (i, x)).collect();
+    assert!(pairs.iter().all(|&(i, x)| i == x as usize));
+}
+
+#[test]
+fn zip_pairs_like_sequential_zip() {
+    let a: Vec<u64> = (0..7001).collect();
+    let b: Vec<u64> = (0..7001).map(|x| x * 3).collect();
+    let sums: Vec<u64> = a
+        .par_iter()
+        .zip(b.par_iter())
+        .map(|(&x, &y)| x + y)
+        .collect();
+    assert!(sums.iter().enumerate().all(|(i, &s)| s == 4 * i as u64));
+}
+
+#[test]
+fn zip_truncates_to_shorter_side() {
+    let a: Vec<u64> = (0..5000).collect();
+    let b: Vec<u64> = (0..3333).collect();
+    let pairs: Vec<(u64, u64)> = a.into_par_iter().zip(b.into_par_iter()).collect();
+    assert_eq!(pairs.len(), 3333);
+    assert_eq!(pairs[3332], (3332, 3332));
+}
+
+#[test]
+fn filter_and_flat_map_preserve_order() {
+    let v: Vec<u64> = (0..20_000).collect();
+    let par: Vec<u64> = v
+        .par_iter()
+        .filter(|&&x| x % 3 == 0)
+        .flat_map(|&x| [x, x + 1])
+        .collect();
+    let seq: Vec<u64> = v
+        .iter()
+        .filter(|&&x| x % 3 == 0)
+        .flat_map(|&x| [x, x + 1])
+        .collect();
+    assert_eq!(par, seq);
+}
+
+#[test]
+fn empty_inputs_are_fine() {
+    let empty: Vec<u64> = Vec::new();
+    let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+    assert!(out.is_empty());
+    let out: Vec<u64> = Vec::<u64>::new().into_par_iter().collect();
+    assert!(out.is_empty());
+    #[allow(clippy::reversed_empty_ranges)]
+    let out: Vec<u32> = (5u32..5).into_par_iter().collect();
+    assert!(out.is_empty());
+    let count = Vec::<u64>::new().par_iter().count();
+    assert_eq!(count, 0);
+    Vec::<u64>::new()
+        .par_iter_mut()
+        .for_each(|_| unreachable!());
+}
+
+#[test]
+fn single_item_input() {
+    let one: Vec<u64> = vec![42].into_par_iter().map(|x| x + 1).collect();
+    assert_eq!(one, vec![43]);
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    let v: Vec<u64> = (0..50_000).collect();
+    let run = || -> Vec<u64> {
+        v.par_iter()
+            .map(|&x| x.wrapping_mul(0x9e37_79b9))
+            .filter(|&x| x % 7 != 0)
+            .collect()
+    };
+    let seq = pool_with(1).install(run);
+    let par4 = pool_with(4).install(run);
+    let par7 = pool_with(7).install(run);
+    assert_eq!(seq, par4);
+    assert_eq!(seq, par7);
+}
+
+#[test]
+fn install_caps_reported_thread_count() {
+    assert_eq!(pool_with(1).install(rayon::current_num_threads), 1);
+    assert_eq!(pool_with(3).install(rayon::current_num_threads), 3);
+    // The cap is scoped: outside `install` the global size is back.
+    let global = rayon::current_num_threads();
+    assert_eq!(rayon::current_num_threads(), global);
+}
+
+#[test]
+fn observes_multiple_threads_at_default_settings() {
+    // Acceptance criterion for the shim: under default settings the pool
+    // really executes on ≥ 2 distinct threads. Two tasks rendezvous so
+    // neither can finish until both have started — which forces them onto
+    // different threads (and would time out if the pool were sequential).
+    // Under RAYON_NUM_THREADS=1 the shim is exactly sequential instead.
+    if rayon::current_num_threads() < 2 {
+        let ids: HashSet<_> = {
+            let seen = Mutex::new(HashSet::new());
+            (0..100u64).collect::<Vec<_>>().par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+            seen.into_inner().unwrap()
+        };
+        assert_eq!(ids.len(), 1, "1-thread pool must stay on the caller");
+        return;
+    }
+    let seen = Mutex::new(HashSet::new());
+    let started = AtomicUsize::new(0);
+    let rendezvous = || {
+        seen.lock().unwrap().insert(std::thread::current().id());
+        started.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while started.load(Ordering::SeqCst) < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "second task never started: pool is not parallel"
+            );
+            std::thread::yield_now();
+        }
+    };
+    rayon::join(&rendezvous, &rendezvous);
+    assert!(
+        seen.into_inner().unwrap().len() >= 2,
+        "default pool must execute on at least 2 distinct threads"
+    );
+}
+
+#[test]
+fn join_runs_both_sides_and_returns_both() {
+    let left_ran = AtomicBool::new(false);
+    let right_ran = AtomicBool::new(false);
+    let (a, b) = rayon::join(
+        || {
+            left_ran.store(true, Ordering::SeqCst);
+            1u32
+        },
+        || {
+            right_ran.store(true, Ordering::SeqCst);
+            "right"
+        },
+    );
+    assert_eq!((a, b), (1, "right"));
+    assert!(left_ran.load(Ordering::SeqCst));
+    assert!(right_ran.load(Ordering::SeqCst));
+}
+
+#[test]
+fn join_propagates_panic_but_still_runs_other_side() {
+    let right_ran = AtomicBool::new(false);
+    let res = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+        rayon::join(
+            || panic!("left side exploded"),
+            || right_ran.store(true, Ordering::SeqCst),
+        )
+    }));
+    let payload = res.expect_err("panic must propagate out of join");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("left side exploded"), "got: {msg}");
+    assert!(
+        right_ran.load(Ordering::SeqCst),
+        "the non-panicking side must still execute"
+    );
+}
+
+#[test]
+fn worker_panic_propagates_to_caller_and_pool_survives() {
+    let res = panic::catch_unwind(|| {
+        (0..10_000u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|i| {
+                if i == 4321 {
+                    panic!("item 4321 failed");
+                }
+            });
+    });
+    assert!(res.is_err(), "worker panic must reach the caller");
+    // The pool must remain fully usable afterwards.
+    let total: u64 = (0..1000u64).collect::<Vec<_>>().into_par_iter().sum();
+    assert_eq!(total, 499_500);
+}
+
+#[test]
+fn par_sort_by_is_stable_and_matches_sequential() {
+    // Keys collide heavily so stability is actually exercised.
+    let data: Vec<(u64, usize)> = (0..40_000)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 97, i))
+        .collect();
+    let mut par = data.clone();
+    par.par_sort_by(|a, b| a.0.cmp(&b.0));
+    let mut seq = data;
+    seq.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(par, seq, "stable parallel sort must match std stable sort");
+}
+
+#[test]
+fn par_sort_by_key_matches_sequential() {
+    let data: Vec<u64> = (0..30_000)
+        .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mut par = data.clone();
+    par.par_sort_by_key(|&x| x);
+    let mut seq = data;
+    seq.sort_by_key(|&x| x);
+    assert_eq!(par, seq);
+}
+
+#[test]
+fn par_sort_unstable_by_key_sorts_unique_keys_deterministically() {
+    let data: Vec<u64> = (0..40_000)
+        .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let sorted_at = |threads: usize| {
+        pool_with(threads).install(|| {
+            let mut v = data.clone();
+            v.par_sort_unstable_by_key(|&x| x);
+            v
+        })
+    };
+    let seq = sorted_at(1);
+    assert!(seq.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(seq, sorted_at(4));
+    assert_eq!(seq, sorted_at(9));
+}
+
+#[test]
+fn small_slices_sort_fine() {
+    let mut v = vec![3u64, 1, 2];
+    v.par_sort_by(|a, b| a.cmp(b));
+    assert_eq!(v, vec![1, 2, 3]);
+    let mut v: Vec<u64> = vec![];
+    v.par_sort_unstable_by_key(|&x| x);
+    assert!(v.is_empty());
+}
+
+#[test]
+fn nested_parallelism_does_not_deadlock() {
+    // A parallel op issued from inside a pool task must complete: the
+    // submitting thread works through its own batch instead of blocking.
+    let sums: Vec<u64> = (0..64u64)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|i| {
+            (0..1000u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|j| i + j)
+                .sum()
+        })
+        .collect();
+    assert_eq!(sums[0], 499_500);
+    assert_eq!(sums[1], 500_500);
+}
