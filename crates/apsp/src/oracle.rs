@@ -5,8 +5,8 @@ use spanner_graph::edge::{Distance, EdgeId};
 use spanner_graph::shortest_paths::dijkstra;
 use spanner_graph::Graph;
 
-use spanner_core::mpc_driver::mpc_general_spanner_with_config;
-use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+use spanner_core::pipeline::{Algorithm, Backend, MpcDeployment, PipelineError, SpannerRequest};
+use spanner_core::TradeoffParams;
 
 /// The Corollary 1.4 parameters for a graph on `n` vertices:
 /// `k = ⌈log₂ n⌉`, `t = ⌈log₂ log₂ n⌉`.
@@ -85,7 +85,11 @@ impl ApspOracle {
 /// the large-scale approximation-quality experiments use.
 pub fn build_oracle(g: &Graph, seed: u64) -> ApspOracle {
     let params = apsp_params(g.n());
-    let r = general_spanner(g, params, seed, BuildOptions::default());
+    let r = SpannerRequest::new(g, Algorithm::General(params))
+        .seed(seed)
+        .run()
+        .expect("sequential execution of a valid schedule is infallible")
+        .result;
     ApspOracle {
         spanner: g.edge_subgraph(&r.edges),
         spanner_edges: r.edges,
@@ -113,26 +117,33 @@ pub struct MpcApspRun {
 /// (whose `Õ(n)` memory must absorb it — enforced by the runtime).
 pub fn mpc_build_oracle(g: &Graph, seed: u64) -> mpc_runtime::Result<MpcApspRun> {
     let params = apsp_params(g.n());
-    let input_words = 4 * g.m() + 2 * g.n() + 64;
-    let config = MpcConfig::near_linear(g.n(), input_words);
-    let run = mpc_general_spanner_with_config(g, params, config, seed)?;
+    let report = SpannerRequest::new(g, Algorithm::General(params))
+        .on(Backend::Mpc(MpcDeployment::NearLinear))
+        .seed(seed)
+        .run()
+        .map_err(|e| match e {
+            PipelineError::Mpc(mpc) => mpc,
+            other => unreachable!("mpc execution fails only with MPC errors: {other}"),
+        })?;
+    let stats = report.stats.mpc().expect("mpc backend reports mpc stats");
+    let (mut metrics, config) = (stats.metrics.clone(), stats.config);
+    let result = report.result;
 
     // Step 2: collect the spanner on one machine, paying the rounds.
     let mut sys = MpcSystem::new(config);
-    let ids: Vec<u64> = run.result.edges.iter().map(|&id| id as u64).collect();
+    let ids: Vec<u64> = result.edges.iter().map(|&id| id as u64).collect();
     let spanner_dist = Dist::distribute(&mut sys, ids)?;
     let rounds_before = sys.rounds();
     let collected = comm::gather_to_machine(&mut sys, spanner_dist, 0, "apsp.collect")?;
     let gather_rounds = sys.rounds() - rounds_before;
 
-    let mut metrics = run.metrics.clone();
     metrics.rounds += sys.rounds();
     let edges: Vec<EdgeId> = collected.into_iter().map(|id| id as EdgeId).collect();
     let oracle = ApspOracle {
         spanner: g.edge_subgraph(&edges),
         spanner_edges: edges,
-        stretch_bound: run.result.stretch_bound,
-        iterations: run.result.iterations,
+        stretch_bound: result.stretch_bound,
+        iterations: result.iterations,
     };
     Ok(MpcApspRun {
         oracle,

@@ -78,7 +78,7 @@ impl DistanceSketches {
         // Nested landmark sets A_0 ⊇ A_1 ⊇ … (A_0 = V).
         let q = (n.max(2) as f64).powf(-1.0 / lam as f64);
         let mut level_of: Vec<u32> = vec![0; n];
-        for v in 0..n {
+        for (v, slot) in level_of.iter_mut().enumerate() {
             let mut lvl = 0u32;
             let mut h = spanner_core::coins::splitmix64(seed ^ 0x5e7c4 ^ v as u64);
             while lvl + 1 < levels {
@@ -89,7 +89,7 @@ impl DistanceSketches {
                     break;
                 }
             }
-            level_of[v] = lvl;
+            *slot = lvl;
         }
         // Guarantee at least one top-level landmark so pivots always
         // exist within each connected component's reach (fall back to
@@ -106,8 +106,8 @@ impl DistanceSketches {
         // run one Dijkstra per landmark and take minima — simple and
         // exact, parallelised.
         let mut pivots: Vec<Vec<(u32, Distance)>> = vec![vec![(u32::MAX, INFINITY); lam]; n];
-        for v in 0..n {
-            pivots[v][0] = (v as u32, 0);
+        for (v, row) in pivots.iter_mut().enumerate() {
+            row[0] = (v as u32, 0);
         }
         for i in 1..lam {
             let landmarks: Vec<u32> = (0..n as u32)
@@ -117,7 +117,7 @@ impl DistanceSketches {
                 .par_iter()
                 .map(|&a| (a, dijkstra(g, a).dist))
                 .collect();
-            for v in 0..n {
+            for (v, row) in pivots.iter_mut().enumerate() {
                 let mut best = (u32::MAX, INFINITY);
                 for (a, dist) in &rows {
                     let d = dist[v];
@@ -125,16 +125,15 @@ impl DistanceSketches {
                         best = (*a, d);
                     }
                 }
-                pivots[v][i] = best;
+                row[i] = best;
             }
         }
 
         // Bunches: B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(v,w) < d(v, p_{i+1}(v)) }.
         // Computed from the landmark rows (exact distances).
         let mut all_rows: HashMap<u32, Vec<Distance>> = HashMap::new();
-        for i in 1..lam {
-            for v in 0..n as u32 {
-                let p = pivots[v as usize][i].0;
+        for row in &pivots {
+            for &(p, _) in row.iter().skip(1) {
                 if p != u32::MAX {
                     all_rows.entry(p).or_insert_with(|| dijkstra(g, p).dist);
                 }

@@ -1,8 +1,9 @@
 //! Criterion timing of the Congested Clique pipelines (experiment E7's
 //! wall-clock side).
 
-use congested_clique::{cc_apsp, cc_spanner};
+use congested_clique::cc_apsp;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_core::pipeline::{Algorithm, Backend, SpannerRequest};
 use spanner_core::TradeoffParams;
 use spanner_graph::generators::{Family, WeightModel};
 
@@ -15,8 +16,11 @@ fn bench_cc_spanner(c: &mut Criterion) {
     let params = TradeoffParams::new(8, 2);
     let mut group = c.benchmark_group("cc_spanner");
     for reps in [1usize, 9] {
-        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, &r| {
-            b.iter(|| cc_spanner(&g, params, 1, r))
+        let request = SpannerRequest::new(&g, Algorithm::General(params))
+            .on(Backend::CongestedClique { repetitions: reps })
+            .seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, _| {
+            b.iter(|| request.run().expect("valid request").size())
         });
     }
     group.finish();

@@ -1,14 +1,16 @@
 //! Criterion timing of the spanner constructions (the wall-clock side of
 //! experiments E2/E3/E4/E5/E8; the model-cost side lives in the
-//! experiment binaries).
+//! experiment binaries), driven through the unified pipeline API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spanner_core::baswana_sen::baswana_sen;
-use spanner_core::cluster_merging::cluster_merging_spanner;
-use spanner_core::sqrt_k::sqrt_k_spanner;
-use spanner_core::unweighted_ok::{unweighted_ok_spanner, UnweightedOkConfig};
-use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+use spanner_core::pipeline::{Algorithm, SpannerRequest};
+use spanner_core::unweighted_ok::UnweightedOkConfig;
+use spanner_core::TradeoffParams;
 use spanner_graph::generators::{Family, WeightModel};
+
+fn run(request: &SpannerRequest<'_>) -> usize {
+    request.run().expect("valid request").size()
+}
 
 fn bench_algorithms(c: &mut Criterion) {
     let g = Family::ErdosRenyi {
@@ -19,18 +21,19 @@ fn bench_algorithms(c: &mut Criterion) {
     let k = 16u32;
 
     let mut group = c.benchmark_group("spanner_construction");
-    group.bench_function(BenchmarkId::new("baswana_sen", k), |b| {
-        b.iter(|| baswana_sen(&g, k, 1))
-    });
-    group.bench_function(BenchmarkId::new("cluster_merging", k), |b| {
-        b.iter(|| cluster_merging_spanner(&g, k, 1))
-    });
-    group.bench_function(BenchmarkId::new("sqrt_k", k), |b| {
-        b.iter(|| sqrt_k_spanner(&g, k, 1))
-    });
-    group.bench_function(BenchmarkId::new("general_log_k", k), |b| {
-        b.iter(|| general_spanner(&g, TradeoffParams::log_k(k), 1, BuildOptions::default()))
-    });
+    let cases = [
+        ("baswana_sen", Algorithm::BaswanaSen { k }),
+        ("cluster_merging", Algorithm::ClusterMerging { k }),
+        ("sqrt_k", Algorithm::SqrtK { k }),
+        (
+            "general_log_k",
+            Algorithm::General(TradeoffParams::log_k(k)),
+        ),
+    ];
+    for (name, algorithm) in cases {
+        let request = SpannerRequest::new(&g, algorithm).seed(1);
+        group.bench_function(BenchmarkId::new(name, k), |b| b.iter(|| run(&request)));
+    }
     group.finish();
 }
 
@@ -42,8 +45,9 @@ fn bench_k_scaling(c: &mut Criterion) {
     .generate(WeightModel::Uniform(1, 64), 0xB1);
     let mut group = c.benchmark_group("general_spanner_k");
     for k in [4u32, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| general_spanner(&g, TradeoffParams::log_k(k), 1, BuildOptions::default()))
+        let request = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(k))).seed(1);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| run(&request))
         });
     }
     group.finish();
@@ -56,9 +60,15 @@ fn bench_unweighted_ok(c: &mut Criterion) {
     }
     .generate(WeightModel::Unit, 0xB2)
     .unweighted_copy();
-    c.bench_function("unweighted_ok_k3", |b| {
-        b.iter(|| unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 1))
-    });
+    let request = SpannerRequest::new(
+        &g,
+        Algorithm::UnweightedOk {
+            k: 3,
+            config: UnweightedOkConfig::default(),
+        },
+    )
+    .seed(1);
+    c.bench_function("unweighted_ok_k3", |b| b.iter(|| run(&request)));
 }
 
 criterion_group!(

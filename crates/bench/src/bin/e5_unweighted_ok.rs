@@ -72,7 +72,8 @@ fn main() {
                     ball_factor: 16.0,
                     hitting_boost: 0.05,
                 };
-                let (r, stats) = unweighted_ok_spanner(&g, k, cfg, 0xE5);
+                let r = unweighted_ok_spanner(&g, k, cfg, 0xE5);
+                let stats = r.decomposition.clone().expect("appendix B fills its stats");
                 let m = measure(&g, &r.edges, 16, 5);
                 t.row(vec![
                     name.clone(),

@@ -1,153 +1,9 @@
 //! The Congested Clique round/bandwidth model.
 //!
-//! `n` nodes; per round, every ordered pair of nodes may exchange one
-//! message of `O(log n)` bits — we count in *words* (one word =
-//! `O(log n)` bits), with `b_words` words per pairwise message (1 by
-//! default). A node may therefore send and receive up to `(n−1)·b_words`
-//! words per round.
-//!
-//! The primitives charge rounds for the *measured* loads the algorithms
-//! feed them; nothing is asserted about loads in advance.
+//! The accounting type itself ([`CcNetwork`]) now lives in
+//! `spanner_core::pipeline::clique`, where the unified pipeline's
+//! `Backend::CongestedClique` driver executes; this module re-exports
+//! it so every pre-existing `congested_clique::network::CcNetwork` /
+//! `congested_clique::CcNetwork` path keeps compiling.
 
-/// The accounting context for one Congested Clique execution.
-#[derive(Debug, Clone)]
-pub struct CcNetwork {
-    /// Number of nodes (= vertices of the input graph).
-    pub n: usize,
-    /// Words per pairwise message per round (the `O(log n)` bits).
-    pub b_words: usize,
-    /// Rounds executed.
-    rounds: u64,
-    /// Total words communicated (for reporting).
-    total_words: u64,
-    /// The constant charged for one application of Lenzen's routing
-    /// theorem (the theorem's `O(1)`; 2 here: one distribution round,
-    /// one delivery round).
-    pub lenzen_constant: u64,
-}
-
-impl CcNetwork {
-    /// A fresh clique on `n` nodes with 1-word messages.
-    pub fn new(n: usize) -> Self {
-        CcNetwork {
-            n,
-            b_words: 1,
-            rounds: 0,
-            total_words: 0,
-            lenzen_constant: 2,
-        }
-    }
-
-    /// Rounds executed so far.
-    pub fn rounds(&self) -> u64 {
-        self.rounds
-    }
-
-    /// Total words communicated so far.
-    pub fn total_words(&self) -> u64 {
-        self.total_words
-    }
-
-    /// Per-node per-round receive budget in words.
-    pub fn node_budget(&self) -> usize {
-        self.n.saturating_sub(1) * self.b_words
-    }
-
-    /// Every node sends the same `words`-word payload to every other
-    /// node (e.g. its cluster label, or its packed repetition coins).
-    /// Rounds: `⌈words / b_words⌉` — each round carries `b_words` more
-    /// words of the payload to everyone.
-    pub fn broadcast_from_all(&mut self, words: usize) -> u64 {
-        let r = words.div_ceil(self.b_words).max(1) as u64;
-        self.rounds += r;
-        self.total_words += (self.n * self.n.saturating_sub(1) * words) as u64;
-        r
-    }
-
-    /// Lenzen routing: an arbitrary message multiset where node `i`
-    /// sends `sends[i]` words and receives `recvs[i]` words. The theorem
-    /// delivers any instance with ≤ `n` messages per node in `O(1)`
-    /// rounds; heavier loads are split into `⌈load / budget⌉` batches.
-    pub fn lenzen_route(&mut self, sends: &[usize], recvs: &[usize]) -> u64 {
-        assert_eq!(sends.len(), self.n, "one send load per node");
-        assert_eq!(recvs.len(), self.n, "one receive load per node");
-        let max_send = sends.iter().copied().max().unwrap_or(0);
-        let max_recv = recvs.iter().copied().max().unwrap_or(0);
-        let budget = self.node_budget().max(1);
-        let batches = max_send.max(max_recv).div_ceil(budget).max(1) as u64;
-        let r = batches * self.lenzen_constant;
-        self.rounds += r;
-        self.total_words += sends.iter().map(|&s| s as u64).sum::<u64>();
-        r
-    }
-
-    /// All-to-all dissemination: `total_words` of information (spread
-    /// arbitrarily among the nodes) must become known to **every** node.
-    /// Each node can receive `(n−1)·b_words` words per round, so this is
-    /// `⌈total / budget⌉` rounds plus the Lenzen constant for the
-    /// initial rebalancing (the Corollary 1.5 "collect the spanner at
-    /// all nodes via Lenzen's routing" step).
-    pub fn disseminate_to_all(&mut self, total_words: usize) -> u64 {
-        let budget = self.node_budget().max(1);
-        let r = (total_words.div_ceil(budget) as u64).max(1) + self.lenzen_constant;
-        self.rounds += r;
-        self.total_words += (total_words * self.n) as u64;
-        r
-    }
-
-    /// Charges `r` literal rounds (for fixed-schedule steps like the
-    /// collector tallies of Section 8).
-    pub fn charge_rounds(&mut self, r: u64, words: u64) {
-        self.rounds += r;
-        self.total_words += words;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn broadcast_charges_per_word() {
-        let mut net = CcNetwork::new(100);
-        assert_eq!(net.broadcast_from_all(1), 1);
-        assert_eq!(net.broadcast_from_all(3), 3);
-        assert_eq!(net.rounds(), 4);
-    }
-
-    #[test]
-    fn lenzen_light_loads_are_constant() {
-        let mut net = CcNetwork::new(64);
-        let light = vec![10usize; 64];
-        let r = net.lenzen_route(&light, &light);
-        assert_eq!(r, net.lenzen_constant);
-    }
-
-    #[test]
-    fn lenzen_heavy_loads_batch() {
-        let mut net = CcNetwork::new(16);
-        // budget = 15 words; a node pushing 100 words needs ceil(100/15)=7 batches.
-        let mut sends = vec![0usize; 16];
-        sends[3] = 100;
-        let recvs = vec![7usize; 16];
-        let r = net.lenzen_route(&sends, &recvs);
-        assert_eq!(r, 7 * net.lenzen_constant);
-    }
-
-    #[test]
-    fn dissemination_scales_with_payload() {
-        let mut net = CcNetwork::new(101); // budget 100
-        let r_small = net.disseminate_to_all(100);
-        let mut net2 = CcNetwork::new(101);
-        let r_big = net2.disseminate_to_all(1000);
-        assert!(r_big > r_small);
-        assert_eq!(r_big - net.lenzen_constant, 10);
-    }
-
-    #[test]
-    #[should_panic(expected = "one send load per node")]
-    fn lenzen_validates_shape() {
-        let mut net = CcNetwork::new(4);
-        net.lenzen_route(&[1, 2], &[1, 2, 3, 4]);
-    }
-}
+pub use spanner_core::pipeline::clique::CcNetwork;

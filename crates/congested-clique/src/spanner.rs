@@ -1,33 +1,19 @@
 //! Theorem 8.1: the spanner construction in the Congested Clique, with
 //! the parallel-repetition trick for a w.h.p. size bound.
 //!
-//! Cluster-state evolution reuses the paper's engine semantics (the
-//! exact Step B/C rules of `spanner_core::engine`); this module adds
-//! what Section 8 is actually about:
-//!
-//! * the **communication schedule** and its round cost in the clique
-//!   model — label broadcasts, candidate aggregation at cluster centres
-//!   (Lenzen routing with measured fan-ins), membership updates,
-//!   contraction relabels;
-//! * the **parallel repetition**: per iteration, every cluster centre
-//!   draws `R` coins and broadcasts them as one packed `O(log n)`-bit
-//!   message; `R` collector nodes tally, for each run, the number of
-//!   sampled clusters and the number of edges the run would add; all
-//!   nodes then commit — deterministically, from the same tallies — to
-//!   the cheapest run whose sampled-cluster count is within twice its
-//!   expectation. Expected-size bounds become w.h.p. bounds at `O(1)`
-//!   extra rounds per iteration (Theorem 8.1's proof, literally).
+//! The execution loop lives in the unified pipeline
+//! (`spanner_core::pipeline`, `Backend::CongestedClique`); this module
+//! keeps the classic entry point as a thin shim and the Section 8
+//! result type. See the pipeline's `clique` module for the
+//! communication schedule and the repetition commit rule.
 //!
 //! Run 0 always uses the caller's seed unchanged, so `repetitions = 1`
 //! reproduces `spanner_core::general_spanner` **bit-for-bit** — the
 //! differential tests rely on this.
 
-use spanner_core::coins::splitmix64;
-use spanner_core::engine::Engine;
+use spanner_core::pipeline::{Algorithm, Backend, SpannerRequest};
 use spanner_core::{SpannerResult, TradeoffParams};
 use spanner_graph::Graph;
-
-use crate::network::CcNetwork;
 
 /// Outcome of a Congested Clique spanner construction.
 #[derive(Debug, Clone)]
@@ -45,21 +31,14 @@ pub struct CcSpannerRun {
     pub chosen_runs: Vec<usize>,
 }
 
-/// Seed for repetition `r` of a base seed (run 0 = the base seed, so a
-/// single-repetition execution matches the sequential reference).
-fn run_seed(base: u64, r: usize) -> u64 {
-    if r == 0 {
-        base
-    } else {
-        splitmix64(base ^ (0xC11C + r as u64))
-    }
-}
-
 /// Builds a spanner in the Congested Clique model (Theorem 8.1).
 ///
 /// `repetitions` is the paper's `O(log n)` parallel runs; pass 1 to
 /// disable the w.h.p. amplification (expected-size only, coin-identical
 /// to the sequential reference).
+///
+/// Shim over `spanner_core::pipeline`: equivalent to running a
+/// [`SpannerRequest`] on `Backend::CongestedClique`.
 pub fn cc_spanner(
     g: &Graph,
     params: TradeoffParams,
@@ -71,101 +50,22 @@ pub fn cc_spanner(
         repetitions <= 64,
         "coins for all runs must pack into one O(log n)-bit message"
     );
-    let n = g.n();
-    let mut net = CcNetwork::new(n.max(2));
-    let algorithm = format!("cc-spanner(k={},t={},R={repetitions})", params.k, params.t);
-
-    if params.k == 1 || g.m() == 0 {
-        let result = SpannerResult {
-            edges: (0..g.m() as u32).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
-        return CcSpannerRun {
-            result,
-            rounds: 0,
-            total_words: 0,
-            repetitions,
-            chosen_runs: vec![],
-        };
-    }
-
-    let mut engine = Engine::new(g, seed);
-    let mut chosen_runs = Vec::new();
-    let l = params.epochs();
-
-    for epoch in 1..=l {
-        let p = params.sampling_probability(n, epoch);
-        for iter in 1..=params.t {
-            // --- Communication, charged per the Section 8 schedule. ---
-            // (a) Every node broadcasts its (super-node, cluster) labels.
-            net.broadcast_from_all(2);
-            // (b) Cluster centres broadcast R packed coins (one word).
-            net.broadcast_from_all(1);
-
-            // (c) Trial runs: every node can simulate each run locally
-            // (it knows all labels and all coins); the collectors only
-            // tally sizes. We reproduce the tallies by running each
-            // repetition on a scratch copy of the state.
-            let clusters = engine.cluster_count();
-            let expected_sampled = (clusters as f64) * p;
-            let mut best: Option<(usize, usize, usize)> = None; // (edges, run, cands)
-            let mut fallback: Option<(usize, usize, usize)> = None;
-            for r in 0..repetitions {
-                let mut trial = engine.clone();
-                trial.set_seed(run_seed(seed, r));
-                let stats = trial.run_iteration(p, epoch, iter);
-                let within = (stats.sampled_clusters as f64) <= (2.0 * expected_sampled + 2.0);
-                let cand = (stats.edges_added, r, stats.max_candidates_per_cluster);
-                if within && best.map_or(true, |b| cand < b) {
-                    best = Some(cand);
-                }
-                if fallback.map_or(true, |b| cand < b) {
-                    fallback = Some(cand);
-                }
-            }
-            let (_, chosen, max_fanin) = best.or(fallback).expect("at least one repetition ran");
-            chosen_runs.push(chosen);
-
-            // (d) Tallies to the R collectors and the collectors'
-            // verdict back: two fixed rounds.
-            net.charge_rounds(2, (2 * n * repetitions) as u64);
-
-            // (e) Candidate aggregation at cluster centres (members send
-            // their per-neighbour-cluster minima) and membership update
-            // (centres inform joiners): Lenzen routing at the measured
-            // fan-in, plus one round back.
-            let sends = vec![4usize; n.max(2)];
-            let mut recvs = vec![0usize; n.max(2)];
-            recvs[0] = 4 * max_fanin; // the busiest centre
-            net.lenzen_route(&sends, &recvs);
-            net.charge_rounds(1, n as u64);
-
-            // --- Commit the chosen run on the real state. ---
-            engine.set_seed(run_seed(seed, chosen));
-            engine.run_iteration(p, epoch, iter);
-        }
-        // Step C: contraction — a relabel (local) plus one Lenzen round
-        // for the minimum-per-super-node-pair reduction.
-        let sends = vec![4usize; n.max(2)];
-        let recvs = vec![4usize; n.max(2)];
-        net.lenzen_route(&sends, &recvs);
-        engine.contract();
-    }
-    engine.phase2();
-    let mut result = engine.finish(algorithm, params.stretch_bound());
-    result.epochs = l;
-
+    let report = SpannerRequest::new(g, Algorithm::General(params))
+        .on(Backend::CongestedClique { repetitions })
+        .seed(seed)
+        .run()
+        .expect("validated above; clique execution is infallible");
+    let stats = report
+        .stats
+        .congested_clique()
+        .expect("congested-clique backend reports clique stats")
+        .clone();
     CcSpannerRun {
-        result,
-        rounds: net.rounds(),
-        total_words: net.total_words(),
-        repetitions,
-        chosen_runs,
+        result: report.result,
+        rounds: stats.rounds,
+        total_words: stats.total_words,
+        repetitions: stats.repetitions,
+        chosen_runs: stats.chosen_runs,
     }
 }
 

@@ -34,19 +34,27 @@ use crate::result::SpannerResult;
 ///
 /// Runs `k` grow iterations at fixed probability `n^{-1/k}` and the
 /// vertex-level second phase. Expected size `O(k·n^{1+1/k})`.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with `Algorithm::BaswanaSen` on the sequential
+/// backend.
 pub fn baswana_sen(g: &Graph, k: u32, seed: u64) -> SpannerResult {
     assert!(k >= 1, "k must be at least 1");
+    crate::pipeline::SpannerRequest::new(g, crate::pipeline::Algorithm::BaswanaSen { k })
+        .seed(seed)
+        .run()
+        .expect("validated above; sequential execution is infallible")
+        .result
+}
+
+/// The implementation behind [`baswana_sen`] (the pipeline's
+/// sequential `Algorithm::BaswanaSen` driver; also used as a black box
+/// by Section 3 and Appendix B).
+pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    debug_assert!(k >= 1, "validated by plan()");
     let algorithm = format!("baswana-sen(k={k})");
     if k == 1 || g.m() == 0 {
-        return SpannerResult {
-            edges: (0..g.m() as EdgeId).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
+        return SpannerResult::whole_graph(g, algorithm);
     }
 
     let n = g.n();
@@ -179,6 +187,7 @@ pub fn baswana_sen(g: &Graph, k: u32, seed: u64) -> SpannerResult {
         radius_per_epoch: vec![],
         supernodes_per_epoch: vec![],
         algorithm,
+        decomposition: None,
     };
     result.canonicalise();
     result

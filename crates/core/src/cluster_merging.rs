@@ -12,37 +12,36 @@
 
 use spanner_graph::Graph;
 
-use crate::general::{general_spanner, BuildOptions};
-use crate::params::TradeoffParams;
+use crate::pipeline::{Algorithm, SpannerRequest};
 use crate::result::SpannerResult;
 
 /// Builds an `O(k^{log 3})`-stretch spanner of expected size
-/// `O(n^{1+1/k} log k)` in `⌈log₂ k⌉` epochs (Theorem 4.14).
+/// `O(n^{1+1/k} log k)` in `⌈log₂ k⌉` epochs (Theorem 4.14); the result
+/// carries Theorem 4.10's specialised bound (paths of weight
+/// ≤ `k^{log 3}·w_e`).
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with [`Algorithm::ClusterMerging`] on the
+/// sequential backend.
 pub fn cluster_merging_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
-    let mut r = general_spanner(
-        g,
-        TradeoffParams::cluster_merging(k),
-        seed,
-        BuildOptions::default(),
-    );
-    r.algorithm = format!("cluster-merging(k={k})");
-    // Theorem 4.10's specialised bound: paths of weight ≤ k^{log 3}·w_e.
-    r.stretch_bound = (k as f64).powf(3f64.log2());
-    r
+    assert!(k >= 1, "k must be at least 1");
+    SpannerRequest::new(g, Algorithm::ClusterMerging { k })
+        .seed(seed)
+        .run()
+        .expect("validated above; sequential execution is infallible")
+        .result
 }
 
 /// Same, with per-epoch radius tracking for ablation A1 (the radii must
 /// obey the `(3^i − 1)/2` law of Theorem 4.8).
 pub fn cluster_merging_spanner_tracked(g: &Graph, k: u32, seed: u64) -> SpannerResult {
-    let mut r = general_spanner(
-        g,
-        TradeoffParams::cluster_merging(k),
-        seed,
-        BuildOptions { track_radii: true },
-    );
-    r.algorithm = format!("cluster-merging(k={k})");
-    r.stretch_bound = (k as f64).powf(3f64.log2());
-    r
+    assert!(k >= 1, "k must be at least 1");
+    SpannerRequest::new(g, Algorithm::ClusterMerging { k })
+        .seed(seed)
+        .track_radii(true)
+        .run()
+        .expect("validated above; sequential execution is infallible")
+        .result
 }
 
 #[cfg(test)]

@@ -338,7 +338,7 @@ impl<'g> Engine<'g> {
         for a in self.active.iter_mut() {
             *a = false;
         }
-        for (&c, _) in &self.clusters {
+        for &c in self.clusters.keys() {
             self.active[c as usize] = true;
         }
         for (c, tree) in new_tree {
@@ -514,6 +514,7 @@ impl<'g> Engine<'g> {
             radius_per_epoch: std::mem::take(&mut self.radius_per_epoch),
             supernodes_per_epoch: std::mem::take(&mut self.supernodes_per_epoch),
             algorithm: algorithm.into(),
+            decomposition: None,
         };
         result.canonicalise();
         result

@@ -12,11 +12,11 @@
 //! * `t·l` iterations, i.e. `O((1/γ)·t·log k/log(t+1))` MPC rounds
 //!   (Theorem 1.1).
 
-use spanner_graph::edge::EdgeId;
 use spanner_graph::Graph;
 
 use crate::engine::Engine;
 use crate::params::TradeoffParams;
+use crate::pipeline::{Algorithm, Batch, SpannerRequest};
 use crate::result::SpannerResult;
 
 /// Options shared by the engine-based constructions.
@@ -31,7 +31,27 @@ pub struct BuildOptions {
 ///
 /// `k = 1` degenerates to the graph itself (stretch 1), per the
 /// definition of a 1-spanner.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// [`SpannerRequest`] with [`Algorithm::General`] on the sequential
+/// backend (bit-identical output, pinned by tests).
 pub fn general_spanner(
+    g: &Graph,
+    params: TradeoffParams,
+    seed: u64,
+    opts: BuildOptions,
+) -> SpannerResult {
+    SpannerRequest::new(g, Algorithm::General(params))
+        .seed(seed)
+        .track_radii(opts.track_radii)
+        .run()
+        .expect("sequential execution of a valid schedule is infallible")
+        .result
+}
+
+/// The engine loop behind [`general_spanner`] — the pipeline's
+/// sequential driver for every engine-schedule algorithm.
+pub(crate) fn run_general(
     g: &Graph,
     params: TradeoffParams,
     seed: u64,
@@ -39,15 +59,7 @@ pub fn general_spanner(
 ) -> SpannerResult {
     let algorithm = format!("general(k={},t={})", params.k, params.t);
     if params.k == 1 || g.m() == 0 {
-        return SpannerResult {
-            edges: (0..g.m() as EdgeId).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
+        return SpannerResult::whole_graph(g, algorithm);
     }
 
     let n = g.n();
@@ -78,8 +90,10 @@ pub fn log_k_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
 
 /// Runs `repetitions` independent copies (different derived seeds) and
 /// returns the smallest spanner — the paper's expected-size-to-w.h.p.
-/// amplification (Section 6 runs `O(log n)` copies in parallel; here the
-/// copies are sequential but use the identical per-copy algorithm).
+/// amplification. Section 6 runs `O(log n)` copies in parallel; since
+/// the pipeline's [`Batch`] executes requests concurrently on the rayon
+/// pool, so do we (each copy is the identical per-copy algorithm, and
+/// the selection is deterministic regardless of thread count).
 pub fn best_of(
     g: &Graph,
     params: TradeoffParams,
@@ -88,8 +102,21 @@ pub fn best_of(
     opts: BuildOptions,
 ) -> SpannerResult {
     assert!(repetitions >= 1, "need at least one repetition");
-    (0..repetitions as u64)
-        .map(|r| general_spanner(g, params, crate::coins::splitmix64(base_seed ^ r), opts))
+    let batch: Batch = (0..repetitions as u64)
+        .map(|r| {
+            SpannerRequest::new(g, Algorithm::General(params))
+                .seed(crate::coins::splitmix64(base_seed ^ r))
+                .track_radii(opts.track_radii)
+        })
+        .collect();
+    batch
+        .run()
+        .into_iter()
+        .map(|report| {
+            report
+                .expect("sequential execution of a valid schedule is infallible")
+                .result
+        })
         .min_by_key(SpannerResult::size)
         .expect("at least one repetition")
 }

@@ -20,16 +20,24 @@
 //! All of these work on **weighted** graphs except Appendix B's, which is
 //! inherently unweighted (as in the paper).
 //!
-//! ## Execution models
+//! ## Execution models — start at [`pipeline`]
 //!
-//! Every construction exists as a *sequential reference* (this crate's
-//! default entry points — they execute the exact per-iteration rules and
-//! are what the stretch/size experiments run), and the general algorithm
-//! additionally has a fully *distributed driver* ([`mpc_driver`]) that
-//! executes through [`mpc_runtime`]'s primitives with measured rounds
-//! and enforced memory — the two produce **identical spanners** from the
-//! same seed (shared coins in [`coins`], identical `(weight, id)`
-//! tie-breaks), which integration tests verify.
+//! **New code should enter through [`pipeline`]**: one typed
+//! `SpannerRequest` (algorithm × backend × seed × verification policy)
+//! with a `plan()` step that predicts the theorem bounds before running
+//! and a `run()` that returns a unified `RunReport`; a `Batch` executes
+//! many requests concurrently. The per-model free functions in the
+//! algorithm modules survive as thin shims over the pipeline.
+//!
+//! Every construction exists as a *sequential reference* (it executes
+//! the exact per-iteration rules and is what the stretch/size
+//! experiments run); the engine-schedule algorithms additionally run on
+//! a fully *distributed driver* ([`mpc_driver`]) that executes through
+//! [`mpc_runtime`]'s primitives with measured rounds and enforced
+//! memory, on the Congested Clique, on the PRAM work/depth model, and
+//! as a multi-pass stream — all five produce **identical spanners**
+//! from the same seed (shared coins in [`coins`], identical
+//! `(weight, id)` tie-breaks), which integration tests verify.
 
 pub mod baswana_sen;
 pub mod cluster_merging;
@@ -38,6 +46,7 @@ pub mod engine;
 pub mod general;
 pub mod mpc_driver;
 pub mod params;
+pub mod pipeline;
 pub mod presets;
 pub mod result;
 pub mod sqrt_k;

@@ -68,6 +68,10 @@ pub struct MpcSpannerRun {
 
 /// Runs the Section 5 algorithm on the MPC simulator in the strongly
 /// sublinear regime with memory exponent `gamma`.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with `Algorithm::General` on
+/// `Backend::mpc_gamma(gamma)`.
 pub fn mpc_general_spanner(
     g: &Graph,
     params: TradeoffParams,
@@ -81,7 +85,39 @@ pub fn mpc_general_spanner(
 
 /// Same, with an explicit deployment (used by the near-linear regime of
 /// the APSP application and by tests).
+///
+/// Shim over [`crate::pipeline`] (`Backend::Mpc` with an explicit
+/// deployment); MPC constraint violations come back as the legacy
+/// `mpc_runtime::Result`.
 pub fn mpc_general_spanner_with_config(
+    g: &Graph,
+    params: TradeoffParams,
+    config: MpcConfig,
+    seed: u64,
+) -> mpc_runtime::Result<MpcSpannerRun> {
+    use crate::pipeline::{Algorithm, Backend, MpcDeployment, PipelineError};
+    assert!(params.k >= 1, "k must be at least 1");
+    let report = crate::pipeline::SpannerRequest::new(g, Algorithm::General(params))
+        .on(Backend::Mpc(MpcDeployment::Explicit(config)))
+        .seed(seed)
+        .run()
+        .map_err(|e| match e {
+            PipelineError::Mpc(mpc) => mpc,
+            // k ≥ 1 is asserted above and an explicit deployment skips
+            // the gamma check, so plan() cannot reject this request.
+            other => unreachable!("mpc execution fails only with MPC errors: {other}"),
+        })?;
+    let stats = report.stats.mpc().expect("mpc backend reports mpc stats");
+    Ok(MpcSpannerRun {
+        metrics: stats.metrics.clone(),
+        config: stats.config,
+        result: report.result,
+    })
+}
+
+/// The distributed driver behind [`mpc_general_spanner_with_config`]
+/// (the pipeline's `Backend::Mpc` driver).
+pub(crate) fn run_mpc(
     g: &Graph,
     params: TradeoffParams,
     config: MpcConfig,
@@ -94,17 +130,8 @@ pub fn mpc_general_spanner_with_config(
     );
 
     if params.k == 1 || g.m() == 0 {
-        let result = SpannerResult {
-            edges: (0..g.m() as EdgeId).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
         return Ok(MpcSpannerRun {
-            result,
+            result: SpannerResult::whole_graph(g, algorithm),
             metrics: sys.metrics().clone(),
             config,
         });
@@ -152,6 +179,7 @@ pub fn mpc_general_spanner_with_config(
         radius_per_epoch: vec![],
         supernodes_per_epoch: driver.supernodes_per_epoch,
         algorithm,
+        decomposition: None,
     };
     result.canonicalise();
     Ok(MpcSpannerRun {
@@ -440,10 +468,16 @@ impl Driver {
     /// Phase 2: minimum edge per (super-node, neighbouring cluster) over
     /// what is left.
     fn phase2(&mut self) -> mpc_runtime::Result<()> {
+        // Slot 7 carries the owning endpoint: `join_label` overwrites
+        // slot 0 with its join key (the *neighbour*), so aggregating on
+        // slot 0 afterwards would group by (neighbour, neighbour's
+        // cluster) — one edge per super-node instead of one per
+        // (super-node, neighbouring cluster), silently dropping spanner
+        // edges whenever a super-node has several live neighbours here.
         let copies: Dist<Rec> = self.edges.flat_map(&mut self.sys, |&(a, b, w, id)| {
             [
-                [a, 1, b, w, id, NONE, NONE, 0],
-                [b, 1, a, w, id, NONE, NONE, 0],
+                [a, 1, b, w, id, NONE, NONE, a],
+                [b, 1, a, w, id, NONE, NONE, b],
             ]
         })?;
         let copies = self.join_label(copies, "p2.join", |r| r[2], |r, cl| r[6] = cl)?;
@@ -451,7 +485,7 @@ impl Driver {
             &mut self.sys,
             copies,
             "p2.min",
-            |r: &Rec| pair_key(r[0], r[6]),
+            |r: &Rec| pair_key(r[7], r[6]),
             |r: &Rec| (r[3], r[4]),
             |a, b| (*a).min(*b),
         )?;

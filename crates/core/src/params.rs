@@ -10,6 +10,20 @@
 //! * size bound `O(n^{1+1/k}·(t + log k))` of Theorem 5.15,
 //! * iteration count `t·l` (× `O(1/γ)` MPC rounds, Theorem 1.1).
 
+/// A malformed parameter request (`k = 0`, non-positive `ε`, …) —
+/// returned by the fallible constructors so a bad request surfaces as a
+/// typed error instead of aborting a whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(pub String);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Parameters of the general trade-off algorithm (Section 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TradeoffParams {

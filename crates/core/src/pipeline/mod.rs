@@ -1,0 +1,1215 @@
+//! The **one front door**: a unified request → plan → report API over
+//! every algorithm × execution model in the workspace.
+//!
+//! The paper presents one algorithmic family (clustering/contraction
+//! schedules, Theorem 1.1 / Corollary 1.2) realised in several
+//! computation models — MPC, Congested Clique, PRAM, multi-pass
+//! streams, and the plain sequential reference. Historically each
+//! model had its own free function with its own signature and return
+//! type; this module replaces all of them with a single typed flow:
+//!
+//! ```
+//! use spanner_core::pipeline::{Algorithm, Backend, SpannerRequest};
+//! use spanner_core::TradeoffParams;
+//! use spanner_graph::generators::{connected_erdos_renyi, WeightModel};
+//!
+//! let g = connected_erdos_renyi(200, 0.05, WeightModel::Uniform(1, 16), 7);
+//! let request = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(8)))
+//!     .on(Backend::mpc())
+//!     .seed(42);
+//! let plan = request.plan().unwrap();     // predicted bounds, before running
+//! let report = request.run().unwrap();    // one unified report
+//! assert_eq!(report.result.epochs, plan.epochs);
+//! assert!(report.stats.model_rounds().unwrap() > 0);
+//! ```
+//!
+//! * [`SpannerRequest`] — graph + [`Algorithm`] + [`Backend`] + seed +
+//!   [`Verification`] policy, built fluently;
+//! * [`SpannerRequest::plan`] — the *predicted* schedule and bounds
+//!   (epochs, iterations, stretch, size — straight from
+//!   [`TradeoffParams`]) without running anything;
+//! * [`SpannerRequest::run`] — executes on the chosen backend and
+//!   returns a [`RunReport`]: the [`SpannerResult`], the
+//!   backend-specific cost ([`ExecutionStats`]), and (optionally) an
+//!   inline verification outcome;
+//! * [`Batch`] — many requests executed concurrently through the rayon
+//!   pool, each failing independently: the serving-shaped workload.
+//!
+//! The legacy free functions (`general_spanner`, `cc_spanner`,
+//! `pram_general_spanner`, `streaming_spanner`, …) survive as thin
+//! shims over this module, so every pre-existing call site still
+//! compiles and produces bit-identical spanners.
+//!
+//! ## Algorithm × backend support matrix
+//!
+//! | algorithm | Sequential | Mpc | CongestedClique | Pram | Streaming |
+//! |---|---|---|---|---|---|
+//! | [`Algorithm::General`] | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | [`Algorithm::ClusterMerging`] | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | [`Algorithm::Corollary`] | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | [`Algorithm::BaswanaSen`] | ✓ | — | — | — | — |
+//! | [`Algorithm::SqrtK`] | ✓ | — | — | — | — |
+//! | [`Algorithm::UnweightedOk`] | ✓ | — | — | — | — |
+//!
+//! The engine-schedule algorithms (first three rows) draw shared coins
+//! from [`crate::coins`], so **the same request produces bit-identical
+//! spanner edges on every backend** — the cross-backend agreement tests
+//! pin this. The last three rows are standalone constructions whose
+//! distributed analyses the paper gives separately; requesting them on
+//! an unsupported backend yields
+//! [`PipelineError::UnsupportedBackend`] with a hint naming the
+//! equivalent engine schedule.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use mpc_runtime::{Metrics, MpcConfig, MpcError};
+use spanner_graph::verify::verify_spanner;
+use spanner_graph::Graph;
+
+use crate::params::TradeoffParams;
+use crate::result::SpannerResult;
+use crate::unweighted_ok::UnweightedOkConfig;
+
+pub mod clique;
+pub mod pram_cost;
+
+pub use clique::CcNetwork;
+pub use pram_cost::{log_star, PramTracker};
+
+// The request vocabulary in one import: algorithms are parameterised by
+// these types, so the pipeline re-exports them.
+pub use crate::params::ParamError;
+pub use crate::presets::CorollarySetting;
+pub use crate::unweighted_ok::UnweightedOkStats;
+
+// ---------------------------------------------------------------------
+// Request vocabulary
+// ---------------------------------------------------------------------
+
+/// Which spanner construction to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The \[BS07] baseline: `k` iterations, stretch `2k−1`
+    /// (sequential-only; `General(TradeoffParams::baswana_sen(k))` is
+    /// the engine schedule with the same guarantees on every backend).
+    BaswanaSen {
+        /// Size exponent (spanner size `O(k·n^{1+1/k})`).
+        k: u32,
+    },
+    /// Section 4 (`t = 1`): `⌈log k⌉` epochs, stretch `O(k^{log 3})`.
+    ClusterMerging {
+        /// Size exponent.
+        k: u32,
+    },
+    /// Section 3: two phases of `⌈√k⌉` iterations, stretch `O(k)`
+    /// (sequential-only; the paper's `O(√k)`-round construction).
+    SqrtK {
+        /// Size exponent.
+        k: u32,
+    },
+    /// Section 5: the general round/stretch trade-off at explicit
+    /// parameters.
+    General(TradeoffParams),
+    /// One of the four named Corollary 1.2 settings; `k` is ignored by
+    /// [`CorollarySetting::ApspRegime`], which derives it from `n`.
+    Corollary {
+        /// The named point on the trade-off curve.
+        setting: CorollarySetting,
+        /// Size exponent handed to the setting.
+        k: u32,
+    },
+    /// Appendix B: `O(k)` stretch on **unweighted** graphs
+    /// (sequential-only). The decomposition statistics land in
+    /// [`SpannerResult::decomposition`].
+    UnweightedOk {
+        /// Stretch parameter.
+        k: u32,
+        /// Appendix B tuning knobs.
+        config: UnweightedOkConfig,
+    },
+}
+
+impl Algorithm {
+    /// Human-readable label (matches the `algorithm` field of the
+    /// results the legacy entry points produced).
+    pub fn label(&self) -> String {
+        match *self {
+            Algorithm::BaswanaSen { k } => format!("baswana-sen(k={k})"),
+            Algorithm::ClusterMerging { k } => format!("cluster-merging(k={k})"),
+            Algorithm::SqrtK { k } => format!("sqrt-k(k={k})"),
+            Algorithm::General(p) => format!("general(k={},t={})", p.k, p.t),
+            Algorithm::Corollary { setting, .. } => setting.label(),
+            Algorithm::UnweightedOk { k, config } => {
+                format!("unweighted-ok(k={k},gamma={})", config.gamma)
+            }
+        }
+    }
+
+    /// The engine schedule this algorithm runs, when it is an engine
+    /// algorithm (first three rows of the support matrix).
+    fn schedule(&self, n: usize) -> Result<Option<TradeoffParams>, PipelineError> {
+        match *self {
+            Algorithm::General(p) => Ok(Some(p)),
+            Algorithm::ClusterMerging { k } => Ok(Some(TradeoffParams::cluster_merging(k))),
+            Algorithm::Corollary { setting, k } => setting
+                .try_params(n, k)
+                .map(Some)
+                .map_err(|e| PipelineError::InvalidRequest(e.to_string())),
+            _ => Ok(None),
+        }
+    }
+
+    /// The stretch bound the construction will stamp on its result
+    /// (specialised bounds where the theorems give tighter ones).
+    fn stretch_override(&self) -> Option<f64> {
+        match *self {
+            Algorithm::ClusterMerging { k } => Some((k as f64).powf(3f64.log2())),
+            _ => None,
+        }
+    }
+
+    fn validate(&self, g: &Graph) -> Result<(), PipelineError> {
+        let err = |m: String| Err(PipelineError::InvalidRequest(m));
+        match *self {
+            Algorithm::BaswanaSen { k }
+            | Algorithm::ClusterMerging { k }
+            | Algorithm::SqrtK { k }
+                if k == 0 =>
+            {
+                err(format!("{}: k must be at least 1", self.label()))
+            }
+            Algorithm::General(p) if p.k == 0 => err("general: k must be at least 1".into()),
+            Algorithm::UnweightedOk { k, config } => {
+                if k == 0 {
+                    return err("unweighted-ok: k must be at least 1".into());
+                }
+                if !(config.gamma > 0.0 && config.gamma < 1.0) {
+                    return err(format!(
+                        "unweighted-ok: gamma must be in (0,1), got {}",
+                        config.gamma
+                    ));
+                }
+                if !g.is_unweighted() {
+                    return err(
+                        "unweighted-ok: Appendix B's algorithm is defined for unweighted \
+                         graphs only (use Graph::unweighted_copy)"
+                            .into(),
+                    );
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// How the requested number of MPC machines / words per machine is
+/// derived at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MpcDeployment {
+    /// `S = Θ(n^γ)` words per machine (Theorem 1.1's regime).
+    StronglySublinear {
+        /// Memory exponent `γ ∈ (0, 1)`.
+        gamma: f64,
+    },
+    /// `S = Θ(n)` words per machine (the Section 7 APSP regime).
+    NearLinear,
+    /// An explicit deployment, taken as-is.
+    Explicit(MpcConfig),
+}
+
+impl MpcDeployment {
+    fn validate(&self) -> Result<(), PipelineError> {
+        if let MpcDeployment::StronglySublinear { gamma } = *self {
+            if !(gamma > 0.0 && gamma < 1.0) {
+                return Err(PipelineError::InvalidRequest(format!(
+                    "mpc: gamma must be in (0,1), got {gamma}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn config(&self, g: &Graph) -> MpcConfig {
+        let input_words = 4 * g.m() + 2 * g.n() + 64;
+        match *self {
+            MpcDeployment::StronglySublinear { gamma } => {
+                MpcConfig::strongly_sublinear(g.n(), gamma, input_words)
+            }
+            MpcDeployment::NearLinear => MpcConfig::near_linear(g.n(), input_words),
+            MpcDeployment::Explicit(config) => config,
+        }
+    }
+}
+
+impl From<MpcConfig> for MpcDeployment {
+    fn from(config: MpcConfig) -> Self {
+        MpcDeployment::Explicit(config)
+    }
+}
+
+/// Which computation model executes the request.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Backend {
+    /// The in-memory reference implementation (fastest wall clock; the
+    /// answer every other backend must reproduce).
+    #[default]
+    Sequential,
+    /// The MPC simulator: measured rounds/traffic, enforced memory.
+    Mpc(MpcDeployment),
+    /// The Congested Clique with Section 8's parallel repetition
+    /// (`repetitions = 1` disables the w.h.p. amplification and is
+    /// coin-identical to `Sequential`).
+    CongestedClique {
+        /// Parallel repetitions per iteration (`1..=64`).
+        repetitions: usize,
+    },
+    /// CRCW PRAM work/depth accounting.
+    Pram,
+    /// Multi-pass dynamic-stream accounting (Section 2.4).
+    Streaming,
+}
+
+impl Backend {
+    /// The default MPC deployment (`γ = 0.5`, strongly sublinear).
+    pub fn mpc() -> Self {
+        Backend::Mpc(MpcDeployment::StronglySublinear { gamma: 0.5 })
+    }
+
+    /// A strongly sublinear MPC deployment with explicit `γ`.
+    pub fn mpc_gamma(gamma: f64) -> Self {
+        Backend::Mpc(MpcDeployment::StronglySublinear { gamma })
+    }
+
+    /// The Congested Clique without repetition amplification
+    /// (coin-identical to `Sequential`).
+    pub fn congested_clique() -> Self {
+        Backend::CongestedClique { repetitions: 1 }
+    }
+
+    /// Short name for tables and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sequential => "sequential",
+            Backend::Mpc(_) => "mpc",
+            Backend::CongestedClique { .. } => "congested-clique",
+            Backend::Pram => "pram",
+            Backend::Streaming => "streaming",
+        }
+    }
+
+    fn validate(&self) -> Result<(), PipelineError> {
+        match self {
+            Backend::Mpc(dep) => dep.validate(),
+            Backend::CongestedClique { repetitions } => {
+                if *repetitions == 0 {
+                    Err(PipelineError::InvalidRequest(
+                        "congested-clique: need at least one repetition".into(),
+                    ))
+                } else if *repetitions > 64 {
+                    Err(PipelineError::InvalidRequest(
+                        "congested-clique: coins for all runs must pack into one \
+                         O(log n)-bit message (repetitions ≤ 64)"
+                            .into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Whether (and how strictly) to verify the spanner inline after the
+/// run. Verification runs exact Dijkstras
+/// ([`spanner_graph::verify::verify_spanner`]) — intended for
+/// verification-sized graphs, not production traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verification {
+    /// No inline verification (the default).
+    #[default]
+    Skip,
+    /// Verify and record the outcome in [`RunReport::verification`].
+    Report,
+    /// Verify; a violated guarantee turns the run into
+    /// [`PipelineError::VerificationFailed`].
+    Enforce,
+}
+
+/// Outcome of an inline verification pass.
+#[derive(Debug, Clone)]
+pub struct VerificationOutcome {
+    /// Every host edge is spanned (connectivity preserved).
+    pub all_edges_spanned: bool,
+    /// Max over host edges of `d_H(u,v)/w(u,v)`.
+    pub max_edge_stretch: f64,
+    /// The guarantee the construction claimed.
+    pub stretch_bound: f64,
+}
+
+impl VerificationOutcome {
+    /// Did the spanner meet its guarantees?
+    pub fn ok(&self) -> bool {
+        self.all_edges_spanned && self.max_edge_stretch <= self.stretch_bound + 1e-9
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a request could not be planned or executed. Requests fail
+/// *individually* — a malformed request inside a [`Batch`] yields an
+/// `Err` slot, never a panic that aborts its neighbours.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// The request is malformed (k = 0, ε ≤ 0, weighted input to the
+    /// unweighted algorithm, γ out of range, …).
+    InvalidRequest(String),
+    /// The algorithm has no driver for the requested backend.
+    UnsupportedBackend {
+        /// Label of the requested algorithm.
+        algorithm: String,
+        /// Name of the requested backend.
+        backend: &'static str,
+        /// What to request instead.
+        hint: String,
+    },
+    /// The MPC simulator rejected the run (memory/bandwidth violation).
+    Mpc(MpcError),
+    /// [`Verification::Enforce`] was requested and the spanner violated
+    /// its guarantee.
+    VerificationFailed {
+        /// Label of the algorithm that produced the spanner.
+        algorithm: String,
+        /// The recorded outcome.
+        outcome: VerificationOutcome,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            PipelineError::UnsupportedBackend {
+                algorithm,
+                backend,
+                hint,
+            } => write!(f, "{algorithm} has no {backend} driver ({hint})"),
+            PipelineError::Mpc(e) => write!(f, "mpc execution failed: {e}"),
+            PipelineError::VerificationFailed { algorithm, outcome } => write!(
+                f,
+                "{algorithm}: verification failed (spanned={}, stretch {} > bound {})",
+                outcome.all_edges_spanned, outcome.max_edge_stretch, outcome.stretch_bound
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<MpcError> for PipelineError {
+    fn from(e: MpcError) -> Self {
+        PipelineError::Mpc(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------
+
+/// The predicted schedule and bounds of a request — everything the
+/// theorems quantify, computed *before* running. Experiments print
+/// `Plan` next to the measured [`RunReport`] for predicted-vs-measured
+/// tables.
+///
+/// `epochs`/`iterations` are the scheduled maxima; a run may finish
+/// early when the live edge set is exhausted (sparse graphs, large
+/// `k`), so the measured counts satisfy `measured ≤ planned`, with
+/// equality whenever the schedule runs to completion.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Backend name.
+    pub backend: &'static str,
+    /// The resolved engine schedule, for engine algorithms.
+    pub schedule: Option<TradeoffParams>,
+    /// Scheduled clustering epochs (`l = ⌈log k / log(t+1)⌉`).
+    pub epochs: u32,
+    /// Scheduled grow iterations (`t·l`).
+    pub iterations: u32,
+    /// The stretch guarantee the result will carry.
+    pub stretch_bound: f64,
+    /// Expected-size envelope (Theorem 5.15's quantity, without the
+    /// `O(·)` constant).
+    pub size_bound: f64,
+    /// Stream passes (`iterations + 1`), on the streaming backend.
+    pub streaming_passes: Option<u32>,
+}
+
+// ---------------------------------------------------------------------
+// Execution stats
+// ---------------------------------------------------------------------
+
+/// Measured MPC rounds / traffic / peak memory and the deployment.
+#[derive(Debug, Clone)]
+pub struct MpcStats {
+    /// Rounds, traffic and peak-memory measurements.
+    pub metrics: Metrics,
+    /// The deployment that ran.
+    pub config: MpcConfig,
+}
+
+/// Congested Clique rounds and the Section 8 repetition trace.
+#[derive(Debug, Clone)]
+pub struct CcStats {
+    /// Measured clique rounds.
+    pub rounds: u64,
+    /// Total words communicated.
+    pub total_words: u64,
+    /// Parallel repetitions per iteration.
+    pub repetitions: usize,
+    /// Which run index each iteration committed to.
+    pub chosen_runs: Vec<usize>,
+}
+
+/// CRCW PRAM work/depth.
+#[derive(Debug, Clone)]
+pub struct PramStats {
+    /// Measured depth.
+    pub depth: u64,
+    /// Measured work.
+    pub work: u64,
+    /// `log* n` (the per-primitive depth factor).
+    pub log_star_n: u32,
+}
+
+/// Dynamic-stream pass accounting.
+#[derive(Debug, Clone)]
+pub struct StreamingStats {
+    /// Stream passes consumed.
+    pub passes: u32,
+    /// The stretch exponent the Section 2.4 table quotes.
+    pub quoted_stretch_exponent: f64,
+}
+
+/// Backend-specific cost measurements behind one common surface.
+/// Consumers that know which backend ran reach the typed stats through
+/// the [`ExecutionStats::mpc`]-style accessors instead of matching.
+#[derive(Debug, Clone)]
+pub enum ExecutionStats {
+    /// The sequential reference has no model cost.
+    Sequential,
+    /// Measured MPC cost.
+    Mpc(MpcStats),
+    /// Measured Congested Clique cost.
+    CongestedClique(CcStats),
+    /// Measured PRAM cost.
+    Pram(PramStats),
+    /// Measured stream passes.
+    Streaming(StreamingStats),
+}
+
+impl ExecutionStats {
+    /// Name of the backend that produced these stats.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            ExecutionStats::Sequential => "sequential",
+            ExecutionStats::Mpc(_) => "mpc",
+            ExecutionStats::CongestedClique(_) => "congested-clique",
+            ExecutionStats::Pram(_) => "pram",
+            ExecutionStats::Streaming(_) => "streaming",
+        }
+    }
+
+    /// The MPC measurements, when the MPC backend ran.
+    pub fn mpc(&self) -> Option<&MpcStats> {
+        match self {
+            ExecutionStats::Mpc(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The Congested Clique measurements, when that backend ran.
+    pub fn congested_clique(&self) -> Option<&CcStats> {
+        match self {
+            ExecutionStats::CongestedClique(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The PRAM measurements, when that backend ran.
+    pub fn pram(&self) -> Option<&PramStats> {
+        match self {
+            ExecutionStats::Pram(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The streaming measurements, when that backend ran.
+    pub fn streaming(&self) -> Option<&StreamingStats> {
+        match self {
+            ExecutionStats::Streaming(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The model's headline cost: MPC rounds, clique rounds, PRAM
+    /// depth, or stream passes. `None` for the sequential reference.
+    pub fn model_rounds(&self) -> Option<u64> {
+        match self {
+            ExecutionStats::Sequential => None,
+            ExecutionStats::Mpc(s) => Some(s.metrics.rounds),
+            ExecutionStats::CongestedClique(s) => Some(s.rounds),
+            ExecutionStats::Pram(s) => Some(s.depth),
+            ExecutionStats::Streaming(s) => Some(s.passes as u64),
+        }
+    }
+
+    /// What [`ExecutionStats::model_rounds`] counts on this backend.
+    pub fn cost_unit(&self) -> &'static str {
+        match self {
+            ExecutionStats::Sequential => "-",
+            ExecutionStats::Mpc(_) => "rounds",
+            ExecutionStats::CongestedClique(_) => "rounds",
+            ExecutionStats::Pram(_) => "depth",
+            ExecutionStats::Streaming(_) => "passes",
+        }
+    }
+
+    /// Total words communicated, where the model measures traffic.
+    pub fn communication_words(&self) -> Option<u64> {
+        match self {
+            ExecutionStats::Mpc(s) => Some(s.metrics.total_comm_words),
+            ExecutionStats::CongestedClique(s) => Some(s.total_words),
+            _ => None,
+        }
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        match self {
+            ExecutionStats::Sequential => "sequential".into(),
+            ExecutionStats::Mpc(s) => format!(
+                "mpc[S={}w,P={}]: {}",
+                s.config.machine_words,
+                s.config.num_machines,
+                s.metrics.summary()
+            ),
+            ExecutionStats::CongestedClique(s) => format!(
+                "cc[R={}]: rounds={} comm={}w",
+                s.repetitions, s.rounds, s.total_words
+            ),
+            ExecutionStats::Pram(s) => format!(
+                "pram: depth={} work={} (log*n={})",
+                s.depth, s.work, s.log_star_n
+            ),
+            ExecutionStats::Streaming(s) => format!("stream: passes={}", s.passes),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+/// Everything one executed request produced: the plan it was checked
+/// against, the spanner, the backend cost, and the optional inline
+/// verification.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The predictions this run was launched with.
+    pub plan: Plan,
+    /// The shared-randomness seed used.
+    pub seed: u64,
+    /// The constructed spanner and schedule statistics.
+    pub result: SpannerResult,
+    /// Backend-specific cost measurements.
+    pub stats: ExecutionStats,
+    /// Present under [`Verification::Report`] / [`Verification::Enforce`].
+    pub verification: Option<VerificationOutcome>,
+    /// Wall-clock execution time (excludes planning and verification).
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Number of spanner edges.
+    pub fn size(&self) -> usize {
+        self.result.size()
+    }
+
+    /// One-line predicted-vs-measured summary for tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {}: {} edges | iters {}/{} | stretch ≤ {:.2} | {}",
+            self.result.algorithm,
+            self.stats.backend(),
+            self.result.size(),
+            self.result.iterations,
+            self.plan.iterations,
+            self.result.stretch_bound,
+            self.stats.summary()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// The request itself
+// ---------------------------------------------------------------------
+
+/// A fully-specified spanner construction: graph + algorithm + backend
+/// + seed + verification policy. Cheap to clone; borrows the graph.
+#[derive(Debug, Clone)]
+pub struct SpannerRequest<'g> {
+    graph: &'g Graph,
+    algorithm: Algorithm,
+    backend: Backend,
+    seed: u64,
+    verification: Verification,
+    track_radii: bool,
+}
+
+impl<'g> SpannerRequest<'g> {
+    /// A request on the [`Backend::Sequential`] backend with seed 0 and
+    /// no verification; refine with the builder methods.
+    pub fn new(graph: &'g Graph, algorithm: Algorithm) -> Self {
+        SpannerRequest {
+            graph,
+            algorithm,
+            backend: Backend::Sequential,
+            seed: 0,
+            verification: Verification::Skip,
+            track_radii: false,
+        }
+    }
+
+    /// Chooses the execution backend.
+    pub fn on(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the shared-randomness seed (same seed + same engine
+    /// schedule ⇒ same spanner on every backend).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the inline verification policy.
+    pub fn verification(mut self, verification: Verification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Measure cluster radii at every contraction (sequential backend
+    /// only; costs a BFS per super-node — ablation A1's knob).
+    pub fn track_radii(mut self, track: bool) -> Self {
+        self.track_radii = track;
+        self
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The requested algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The requested backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Validates the request and computes the predicted schedule and
+    /// bounds without executing anything.
+    pub fn plan(&self) -> Result<Plan, PipelineError> {
+        self.algorithm.validate(self.graph)?;
+        self.backend.validate()?;
+        let n = self.graph.n();
+        let nf = n.max(2) as f64;
+        let label = self.algorithm.label();
+
+        let (schedule, epochs, iterations, stretch_bound, size_bound) = match self.algorithm {
+            Algorithm::BaswanaSen { k } => {
+                require_sequential(&self.backend, &label, || {
+                    format!(
+                        "request Algorithm::General(TradeoffParams::baswana_sen({k})) \
+                         for the engine schedule with the same guarantees"
+                    )
+                })?;
+                let p = TradeoffParams::baswana_sen(k);
+                let (e, i, s) = if k == 1 {
+                    (0, 0, 1.0)
+                } else {
+                    (1, k - 1, (2 * k - 1) as f64)
+                };
+                (Some(p), e, i, s, k as f64 * nf.powf(1.0 + 1.0 / k as f64))
+            }
+            Algorithm::SqrtK { k } => {
+                require_sequential(&self.backend, &label, || {
+                    format!(
+                        "request Algorithm::General(TradeoffParams::sqrt_k({k})) \
+                         for the engine schedule at t = ⌈√k⌉"
+                    )
+                })?;
+                let t = (k as f64).sqrt().ceil() as u32;
+                let (e, i, s) = if k == 1 {
+                    (0, 0, 1.0)
+                } else {
+                    let tt = t as f64;
+                    (2, 2 * t - 1, (2.0 * tt + 1.0) * (2.0 * tt - 1.0) + 2.0 * tt)
+                };
+                (
+                    None,
+                    e,
+                    i,
+                    s,
+                    (t as f64 + 1.0) * nf.powf(1.0 + 1.0 / k.max(1) as f64),
+                )
+            }
+            Algorithm::UnweightedOk { k, config } => {
+                require_sequential(&self.backend, &label, || {
+                    "Appendix B's algorithm has no distributed driver in this \
+                     workspace; its MPC analysis is Theorem 1.3"
+                        .to_string()
+                })?;
+                let (e, i, s) = if k == 1 {
+                    (0, 0, 1.0)
+                } else {
+                    let k_h = (2.0 / config.gamma).ceil() as u32 + 1;
+                    let iters = ((4 * k).max(2) as f64).log2().ceil() as u32 + k_h;
+                    let per_super = 8.0 * k as f64 + 1.0;
+                    (
+                        1,
+                        iters,
+                        (2.0 * k_h as f64 - 1.0) * per_super + 8.0 * k as f64,
+                    )
+                };
+                let size = k as f64 * nf.powf(1.0 + 1.0 / k as f64) + 2.0 * k as f64 * nf;
+                (None, e, i, s, size)
+            }
+            // Engine-schedule algorithms: everything comes from the
+            // TradeoffParams formulas.
+            _ => {
+                let p = self
+                    .algorithm
+                    .schedule(n)?
+                    .expect("engine algorithms resolve to a schedule");
+                let stretch = if p.k == 1 {
+                    1.0
+                } else {
+                    self.algorithm
+                        .stretch_override()
+                        .unwrap_or_else(|| p.stretch_bound())
+                };
+                (
+                    Some(p),
+                    p.epochs(),
+                    p.iterations(),
+                    stretch,
+                    p.size_bound(n),
+                )
+            }
+        };
+
+        let streaming_passes = match self.backend {
+            Backend::Streaming => Some(if iterations == 0 { 0 } else { iterations + 1 }),
+            _ => None,
+        };
+        Ok(Plan {
+            algorithm: label,
+            backend: self.backend.name(),
+            schedule,
+            epochs,
+            iterations,
+            stretch_bound,
+            size_bound,
+            streaming_passes,
+        })
+    }
+
+    /// Executes the request on its backend.
+    pub fn run(&self) -> Result<RunReport, PipelineError> {
+        let plan = self.plan()?;
+        let started = Instant::now();
+        let (result, stats) = self.execute(&plan)?;
+        let elapsed = started.elapsed();
+
+        let verification = match self.verification {
+            Verification::Skip => None,
+            Verification::Report | Verification::Enforce => {
+                let rep = verify_spanner(self.graph, &result.edges);
+                let outcome = VerificationOutcome {
+                    all_edges_spanned: rep.all_edges_spanned,
+                    max_edge_stretch: rep.max_edge_stretch,
+                    stretch_bound: result.stretch_bound,
+                };
+                if self.verification == Verification::Enforce && !outcome.ok() {
+                    return Err(PipelineError::VerificationFailed {
+                        algorithm: result.algorithm,
+                        outcome,
+                    });
+                }
+                Some(outcome)
+            }
+        };
+
+        Ok(RunReport {
+            plan,
+            seed: self.seed,
+            result,
+            stats,
+            verification,
+            elapsed,
+        })
+    }
+
+    fn execute(&self, plan: &Plan) -> Result<(SpannerResult, ExecutionStats), PipelineError> {
+        let g = self.graph;
+        let seed = self.seed;
+        match self.backend {
+            Backend::Sequential => Ok((self.run_sequential(plan), ExecutionStats::Sequential)),
+            Backend::Mpc(deployment) => {
+                let params = plan.schedule.expect("plan() rejects non-engine algorithms");
+                let config = deployment.config(g);
+                let run = crate::mpc_driver::run_mpc(g, params, config, seed)?;
+                let result = self.finish_engine_result(run.result, plan);
+                Ok((
+                    result,
+                    ExecutionStats::Mpc(MpcStats {
+                        metrics: run.metrics,
+                        config: run.config,
+                    }),
+                ))
+            }
+            Backend::CongestedClique { repetitions } => {
+                let params = plan.schedule.expect("plan() rejects non-engine algorithms");
+                let run = clique::run_cc(g, params, seed, repetitions);
+                let result = self.finish_engine_result(run.result, plan);
+                Ok((
+                    result,
+                    ExecutionStats::CongestedClique(CcStats {
+                        rounds: run.rounds,
+                        total_words: run.total_words,
+                        repetitions: run.repetitions,
+                        chosen_runs: run.chosen_runs,
+                    }),
+                ))
+            }
+            Backend::Pram => {
+                let params = plan.schedule.expect("plan() rejects non-engine algorithms");
+                let run = pram_cost::run_pram(g, params, seed);
+                let result = self.finish_engine_result(run.result, plan);
+                Ok((
+                    result,
+                    ExecutionStats::Pram(PramStats {
+                        depth: run.depth,
+                        work: run.work,
+                        log_star_n: run.log_star_n,
+                    }),
+                ))
+            }
+            Backend::Streaming => {
+                let params = plan.schedule.expect("plan() rejects non-engine algorithms");
+                let run = crate::streaming::run_streaming(g, params, seed);
+                let result = self.finish_engine_result(run.result, plan);
+                Ok((
+                    result,
+                    ExecutionStats::Streaming(StreamingStats {
+                        passes: run.passes,
+                        quoted_stretch_exponent: run.quoted_stretch_exponent,
+                    }),
+                ))
+            }
+        }
+    }
+
+    /// Sequential dispatch. Infallible once `plan()` has validated.
+    fn run_sequential(&self, plan: &Plan) -> SpannerResult {
+        let g = self.graph;
+        let seed = self.seed;
+        match self.algorithm {
+            Algorithm::BaswanaSen { k } => crate::baswana_sen::build(g, k, seed),
+            Algorithm::SqrtK { k } => crate::sqrt_k::build(g, k, seed),
+            Algorithm::UnweightedOk { k, config } => {
+                crate::unweighted_ok::build(g, k, config, seed)
+            }
+            Algorithm::General(_)
+            | Algorithm::ClusterMerging { .. }
+            | Algorithm::Corollary { .. } => {
+                let params = plan.schedule.expect("engine schedule");
+                let opts = crate::general::BuildOptions {
+                    track_radii: self.track_radii,
+                };
+                let r = crate::general::run_general(g, params, seed, opts);
+                self.finish_engine_result(r, plan)
+            }
+        }
+    }
+
+    /// Applies algorithm-level label/bound specialisations to an
+    /// engine-produced result (e.g. cluster merging's `k^{log 3}`
+    /// bound and label, the corollary settings' labels), so the
+    /// report's result matches the requested algorithm and the planned
+    /// bound on **every** backend.
+    fn finish_engine_result(&self, mut r: SpannerResult, plan: &Plan) -> SpannerResult {
+        if let Some(bound) = self.algorithm.stretch_override() {
+            r.stretch_bound = bound;
+        }
+        match self.algorithm {
+            Algorithm::ClusterMerging { k } => {
+                r.algorithm = format!("cluster-merging(k={k})");
+            }
+            Algorithm::Corollary { setting, .. } => {
+                let params = plan.schedule.expect("engine schedule");
+                r.algorithm = format!("{} [k={},t={}]", setting.label(), params.k, params.t);
+            }
+            _ => {}
+        }
+        r
+    }
+}
+
+fn require_sequential(
+    backend: &Backend,
+    label: &str,
+    hint: impl FnOnce() -> String,
+) -> Result<(), PipelineError> {
+    if matches!(backend, Backend::Sequential) {
+        Ok(())
+    } else {
+        Err(PipelineError::UnsupportedBackend {
+            algorithm: label.to_string(),
+            backend: backend.name(),
+            hint: hint(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch
+// ---------------------------------------------------------------------
+
+/// Many requests executed concurrently through the rayon pool — the
+/// serving-shaped workload. Each request succeeds or fails
+/// independently and results come back in submission order.
+///
+/// ```
+/// use spanner_core::pipeline::{Algorithm, Batch, SpannerRequest};
+/// use spanner_core::TradeoffParams;
+/// use spanner_graph::generators::{connected_erdos_renyi, WeightModel};
+///
+/// let g = connected_erdos_renyi(100, 0.08, WeightModel::Unit, 1);
+/// let batch: Batch = (0..4)
+///     .map(|s| SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(4))).seed(s))
+///     .collect();
+/// let reports = batch.run();
+/// assert_eq!(reports.len(), 4);
+/// assert!(reports.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Batch<'g> {
+    requests: Vec<SpannerRequest<'g>>,
+}
+
+impl<'g> Batch<'g> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, request: SpannerRequest<'g>) {
+        self.requests.push(request);
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, request: SpannerRequest<'g>) -> Self {
+        self.push(request);
+        self
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The queued requests, in submission order.
+    pub fn requests(&self) -> &[SpannerRequest<'g>] {
+        &self.requests
+    }
+
+    /// Plans every request (no execution), in submission order.
+    pub fn plan(&self) -> Vec<Result<Plan, PipelineError>> {
+        self.requests.iter().map(SpannerRequest::plan).collect()
+    }
+
+    /// Executes every request concurrently on the rayon pool. Results
+    /// are in submission order; a failed request occupies its slot as
+    /// `Err` without disturbing the others.
+    pub fn run(&self) -> Vec<Result<RunReport, PipelineError>> {
+        self.requests.par_iter().map(SpannerRequest::run).collect()
+    }
+}
+
+impl<'g> FromIterator<SpannerRequest<'g>> for Batch<'g> {
+    fn from_iter<I: IntoIterator<Item = SpannerRequest<'g>>>(iter: I) -> Self {
+        Batch {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{self, WeightModel};
+
+    fn graph() -> Graph {
+        generators::connected_erdos_renyi(80, 0.1, WeightModel::Uniform(1, 8), 3)
+    }
+
+    #[test]
+    fn plan_predicts_engine_schedule() {
+        let g = graph();
+        let params = TradeoffParams::new(8, 2);
+        let plan = SpannerRequest::new(&g, Algorithm::General(params))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.epochs, params.epochs());
+        assert_eq!(plan.iterations, params.iterations());
+        assert_eq!(plan.stretch_bound, params.stretch_bound());
+        assert_eq!(plan.schedule, Some(params));
+    }
+
+    #[test]
+    fn sequential_run_matches_plan_bounds() {
+        let g = graph();
+        let report = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2)))
+            .seed(7)
+            .verification(Verification::Report)
+            .run()
+            .unwrap();
+        assert!(report.result.epochs <= report.plan.epochs);
+        assert!(report.result.iterations <= report.plan.iterations);
+        assert_eq!(report.result.stretch_bound, report.plan.stretch_bound);
+        assert!(report.verification.unwrap().ok());
+    }
+
+    #[test]
+    fn invalid_requests_error_instead_of_panicking() {
+        let g = graph();
+        // k = 0.
+        assert!(matches!(
+            SpannerRequest::new(&g, Algorithm::BaswanaSen { k: 0 }).plan(),
+            Err(PipelineError::InvalidRequest(_))
+        ));
+        // Malformed epsilon.
+        assert!(matches!(
+            SpannerRequest::new(
+                &g,
+                Algorithm::Corollary {
+                    setting: CorollarySetting::Epsilon(-1.0),
+                    k: 8
+                }
+            )
+            .plan(),
+            Err(PipelineError::InvalidRequest(_))
+        ));
+        // Weighted input to the unweighted algorithm.
+        assert!(matches!(
+            SpannerRequest::new(
+                &g,
+                Algorithm::UnweightedOk {
+                    k: 2,
+                    config: UnweightedOkConfig::default()
+                }
+            )
+            .plan(),
+            Err(PipelineError::InvalidRequest(_))
+        ));
+        // Zero repetitions.
+        assert!(matches!(
+            SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2)))
+                .on(Backend::CongestedClique { repetitions: 0 })
+                .plan(),
+            Err(PipelineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_backend_is_a_typed_error_with_hint() {
+        let g = graph();
+        let err = SpannerRequest::new(&g, Algorithm::SqrtK { k: 9 })
+            .on(Backend::Pram)
+            .plan()
+            .unwrap_err();
+        match err {
+            PipelineError::UnsupportedBackend { backend, hint, .. } => {
+                assert_eq!(backend, "pram");
+                assert!(hint.contains("sqrt_k"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn batch_isolates_failures() {
+        let g = graph();
+        let batch = Batch::new()
+            .with(SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2))).seed(1))
+            .with(SpannerRequest::new(
+                &g,
+                Algorithm::Corollary {
+                    setting: CorollarySetting::Epsilon(0.0),
+                    k: 8,
+                },
+            ))
+            .with(SpannerRequest::new(&g, Algorithm::BaswanaSen { k: 3 }).seed(2));
+        let reports = batch.run();
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].is_ok());
+        assert!(matches!(reports[1], Err(PipelineError::InvalidRequest(_))));
+        assert!(reports[2].is_ok());
+    }
+
+    #[test]
+    fn enforce_verification_passes_on_valid_spanners() {
+        let g = graph();
+        let report = SpannerRequest::new(&g, Algorithm::ClusterMerging { k: 4 })
+            .seed(5)
+            .verification(Verification::Enforce)
+            .run()
+            .unwrap();
+        assert!(report.verification.unwrap().ok());
+        assert_eq!(
+            report.result.stretch_bound,
+            (4f64).powf(3f64.log2()),
+            "cluster merging carries its specialised bound"
+        );
+    }
+
+    #[test]
+    fn streaming_plan_predicts_passes() {
+        let g = graph();
+        let plan = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(16, 1)))
+            .on(Backend::Streaming)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.streaming_passes, Some(plan.iterations + 1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Work/depth accounting for the CRCW PRAM model and the PRAM
+//! execution loop (the pipeline's `Backend::Pram` driver).
+//!
+//! [`PramTracker`] lives here (rather than in the `spanner-pram` crate,
+//! which re-exports it) so that the pipeline can execute every backend
+//! from one place without a dependency cycle; the `spanner-pram` crate
+//! keeps the public surface (`pram_general_spanner`) as a shim over
+//! this driver.
+
+use crate::engine::Engine;
+use crate::params::TradeoffParams;
+use crate::result::SpannerResult;
+use spanner_graph::Graph;
+
+/// Iterated logarithm: the number of times `log₂` must be applied to `n`
+/// before the value drops to ≤ 1.
+pub fn log_star(n: usize) -> u32 {
+    let mut x = n as f64;
+    let mut c = 0;
+    while x > 1.0 {
+        x = x.log2();
+        c += 1;
+    }
+    c
+}
+
+/// Accumulates the work and depth of a PRAM execution.
+///
+/// Two charging modes:
+/// * [`PramTracker::step`] — one synchronous parallel step
+///   (depth 1, given work);
+/// * [`PramTracker::primitive`] — one of the \[BS07] CRCW primitives
+///   (hashing, semisorting, generalised find-min), each `O(log* n)`
+///   depth with the given work.
+#[derive(Debug, Clone)]
+pub struct PramTracker {
+    /// Problem size the `log* n` factors refer to.
+    pub n: usize,
+    depth: u64,
+    work: u64,
+    primitive_invocations: u64,
+}
+
+impl PramTracker {
+    /// Fresh tracker for problem size `n`.
+    pub fn new(n: usize) -> Self {
+        PramTracker {
+            n,
+            depth: 0,
+            work: 0,
+            primitive_invocations: 0,
+        }
+    }
+
+    /// One parallel step: depth 1, `work` total operations.
+    pub fn step(&mut self, work: u64) {
+        self.depth += 1;
+        self.work += work;
+    }
+
+    /// One `O(log* n)`-depth CRCW primitive with the given work.
+    pub fn primitive(&mut self, work: u64) {
+        self.depth += log_star(self.n).max(1) as u64;
+        self.work += work;
+        self.primitive_invocations += 1;
+    }
+
+    /// Accumulated depth.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Accumulated work.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Number of `log*`-depth primitives invoked.
+    pub fn primitive_invocations(&self) -> u64 {
+        self.primitive_invocations
+    }
+}
+
+/// Raw outcome of the PRAM driver, before the pipeline wraps it into
+/// [`crate::pipeline::ExecutionStats`].
+#[derive(Debug, Clone)]
+pub(crate) struct PramRun {
+    pub result: SpannerResult,
+    pub depth: u64,
+    pub work: u64,
+    pub log_star_n: u32,
+}
+
+/// The general trade-off spanner on the CRCW PRAM, with measured
+/// work/depth (the cost model of Section 6's closing paragraphs):
+///
+/// * per grow iteration: one hashing pass (cluster sampling lookup
+///   tables), one semisort (grouping edges by (super-node, neighbouring
+///   cluster)), one generalised find-min (nearest sampled cluster) —
+///   three `O(log* n)`-depth primitives — plus `O(1)`-depth
+///   leader-pointer merges;
+/// * per contraction: one semisort (minimum edge per super-node pair)
+///   and an `O(1)`-depth pointer relabel;
+/// * work: proportional to the live edges touched.
+///
+/// State evolution reuses the engine (identical coins and tie-breaks ⇒
+/// the spanner equals the sequential reference bit-for-bit).
+pub(crate) fn run_pram(g: &Graph, params: TradeoffParams, seed: u64) -> PramRun {
+    let n = g.n();
+    let mut tracker = PramTracker::new(n.max(2));
+    let algorithm = format!("pram-general(k={},t={})", params.k, params.t);
+
+    if params.k == 1 || g.m() == 0 {
+        return PramRun {
+            result: SpannerResult::whole_graph(g, algorithm),
+            depth: 0,
+            work: 0,
+            log_star_n: log_star(n.max(2)),
+        };
+    }
+
+    let mut engine = Engine::new(g, seed);
+    let l = params.epochs();
+    for epoch in 1..=l {
+        let p = params.sampling_probability(n, epoch);
+        for iter in 1..=params.t {
+            let live = engine.live_edge_count() as u64;
+            let clusters = engine.cluster_count() as u64;
+            // Hashing: coin lookups per cluster.
+            tracker.primitive(clusters);
+            // Semisort: group candidate edges by (super-node, cluster).
+            tracker.primitive(2 * live);
+            // Generalised find-min: nearest sampled cluster per node.
+            tracker.primitive(live);
+            // Leader-pointer merge of joiners (union-find style, O(1)).
+            tracker.step(clusters);
+            engine.run_iteration(p, epoch, iter);
+        }
+        // Contraction: semisort for min-per-pair, pointer relabel.
+        let live = engine.live_edge_count() as u64;
+        tracker.primitive(live);
+        tracker.step(engine.supernode_count() as u64);
+        engine.contract();
+    }
+    // Phase 2: one more semisort over the residual edges.
+    tracker.primitive(engine.live_edge_count() as u64);
+    engine.phase2();
+
+    let result = engine.finish(algorithm, params.stretch_bound());
+    PramRun {
+        result,
+        depth: tracker.depth(),
+        work: tracker.work(),
+        log_star_n: log_star(n.max(2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(65536), 4);
+        // 2^65536 is out of range; anything practical is ≤ 5.
+        assert_eq!(log_star(usize::MAX), 5);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut t = PramTracker::new(65536);
+        t.step(100);
+        t.primitive(1000);
+        assert_eq!(t.depth(), 1 + 4);
+        assert_eq!(t.work(), 1100);
+        assert_eq!(t.primitive_invocations(), 1);
+    }
+}

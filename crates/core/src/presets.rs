@@ -10,8 +10,8 @@
 
 use spanner_graph::Graph;
 
-use crate::general::{general_spanner, BuildOptions};
-use crate::params::TradeoffParams;
+use crate::params::{ParamError, TradeoffParams};
+use crate::pipeline::{Algorithm, SpannerRequest};
 use crate::result::SpannerResult;
 
 /// Which of the four Corollary 1.2 settings to run.
@@ -32,12 +32,26 @@ pub enum CorollarySetting {
 impl CorollarySetting {
     /// The trade-off parameters this setting dictates for a graph with
     /// `n` vertices and the given `k` (ignored by `ApspRegime`, which
-    /// derives `k` from `n`).
-    pub fn params(&self, n: usize, k: u32) -> TradeoffParams {
-        match *self {
+    /// derives `k` from `n`). Fails on malformed inputs (`k = 0`,
+    /// `ε ≤ 0` or non-finite) instead of panicking, so one bad request
+    /// cannot abort a whole pipeline batch.
+    pub fn try_params(&self, n: usize, k: u32) -> Result<TradeoffParams, ParamError> {
+        if k == 0 && !matches!(self, CorollarySetting::ApspRegime) {
+            return Err(ParamError(format!(
+                "{}: k must be at least 1",
+                self.label()
+            )));
+        }
+        Ok(match *self {
             CorollarySetting::Fastest => TradeoffParams::new(k, 1),
             CorollarySetting::Epsilon(eps) => {
-                assert!(eps > 0.0, "epsilon must be positive");
+                if !eps.is_finite() || eps <= 0.0 {
+                    return Err(ParamError(format!(
+                        "cor1.2(2): epsilon must be positive and finite, got {eps}"
+                    )));
+                }
+                // 2^{1/ε} can overflow f64→u32 for tiny ε; the as-cast
+                // saturates and TradeoffParams clamps t into [1, k].
                 let t = 2f64.powf(1.0 / eps).ceil() as u32;
                 TradeoffParams::new(k, t.max(1))
             }
@@ -48,7 +62,16 @@ impl CorollarySetting {
                 let t = (n.log2().log2().ceil() as u32).max(1);
                 TradeoffParams::new(k.max(2), t)
             }
-        }
+        })
+    }
+
+    /// Infallible variant of [`CorollarySetting::try_params`]: a
+    /// malformed request is clamped to the Baswana–Sen end of the curve
+    /// (`t = k`), whose `2k − 1` bound is the tightest on offer — a safe
+    /// over-delivery rather than a panic.
+    pub fn params(&self, n: usize, k: u32) -> TradeoffParams {
+        self.try_params(n, k)
+            .unwrap_or_else(|_| TradeoffParams::baswana_sen(k.max(1)))
     }
 
     /// Short label for tables.
@@ -73,9 +96,23 @@ impl CorollarySetting {
 }
 
 /// Runs the chosen Corollary 1.2 setting on `g`.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with [`Algorithm::Corollary`] on the sequential
+/// backend. Malformed settings are clamped as in
+/// [`CorollarySetting::params`].
 pub fn corollary_spanner(g: &Graph, setting: CorollarySetting, k: u32, seed: u64) -> SpannerResult {
+    // Pre-clamp so the legacy entry point stays infallible even for
+    // malformed settings (the pipeline itself would return an error);
+    // Corollary resolves to the identical General schedule, so this is
+    // bit-identical to submitting Algorithm::Corollary with valid
+    // parameters (pinned by tests/pipeline_api.rs).
     let params = setting.params(g.n(), k);
-    let mut r = general_spanner(g, params, seed, BuildOptions::default());
+    let mut r = SpannerRequest::new(g, Algorithm::General(params))
+        .seed(seed)
+        .run()
+        .expect("sequential execution of a valid schedule is infallible")
+        .result;
     r.algorithm = format!("{} [k={},t={}]", setting.label(), params.k, params.t);
     r
 }
@@ -132,8 +169,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "epsilon must be positive")]
-    fn zero_epsilon_rejected() {
-        let _ = CorollarySetting::Epsilon(0.0).params(100, 8);
+    fn malformed_epsilon_is_an_error_not_a_panic() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                CorollarySetting::Epsilon(eps).try_params(100, 8).is_err(),
+                "eps={eps} must be rejected"
+            );
+        }
+        // The infallible path clamps to the Baswana–Sen end instead of
+        // aborting (tightest stretch bound on offer — safe over-delivery).
+        let p = CorollarySetting::Epsilon(0.0).params(100, 8);
+        assert_eq!((p.k, p.t), (8, 8));
+        // Valid settings are unaffected.
+        assert_eq!(
+            CorollarySetting::Epsilon(0.5).try_params(100, 8).unwrap(),
+            CorollarySetting::Epsilon(0.5).params(100, 8)
+        );
+        // Tiny-but-valid ε saturates into the clamp rather than panicking.
+        let p = CorollarySetting::Epsilon(1e-9).params(100, 64);
+        assert_eq!(p.t, 64);
+        // k = 0 is also a typed error (ApspRegime derives k and ignores it).
+        assert!(CorollarySetting::Fastest.try_params(100, 0).is_err());
+        assert!(CorollarySetting::ApspRegime.try_params(100, 0).is_ok());
     }
 }

@@ -3,6 +3,8 @@
 use spanner_graph::edge::EdgeId;
 use spanner_graph::Graph;
 
+use crate::unweighted_ok::UnweightedOkStats;
+
 /// A constructed spanner plus the execution statistics the paper's
 /// theorems quantify.
 #[derive(Debug, Clone)]
@@ -25,9 +27,28 @@ pub struct SpannerResult {
     pub supernodes_per_epoch: Vec<usize>,
     /// Human-readable algorithm label for experiment tables.
     pub algorithm: String,
+    /// Sparse/dense decomposition statistics — populated only by the
+    /// Appendix B unweighted construction, `None` everywhere else.
+    pub decomposition: Option<UnweightedOkStats>,
 }
 
 impl SpannerResult {
+    /// The degenerate "spanner = the whole graph" result every
+    /// construction returns for `k = 1` (a 1-spanner keeps everything)
+    /// and for edgeless inputs.
+    pub fn whole_graph(g: &Graph, algorithm: impl Into<String>) -> Self {
+        SpannerResult {
+            edges: (0..g.m() as EdgeId).collect(),
+            epochs: 0,
+            iterations: 0,
+            stretch_bound: 1.0,
+            radius_per_epoch: vec![],
+            supernodes_per_epoch: vec![],
+            algorithm: algorithm.into(),
+            decomposition: None,
+        }
+    }
+
     /// Number of spanner edges.
     pub fn size(&self) -> usize {
         self.edges.len()
@@ -64,10 +85,21 @@ mod tests {
             radius_per_epoch: vec![],
             supernodes_per_epoch: vec![],
             algorithm: "test".into(),
+            decomposition: None,
         };
         r.canonicalise();
         assert_eq!(r.edges, vec![0, 1, 3]);
         assert_eq!(r.size(), 3);
         assert_eq!(r.subgraph(&g).m(), 3);
+    }
+
+    #[test]
+    fn whole_graph_keeps_every_edge() {
+        let g = generators::cycle(7, WeightModel::Unit, 0);
+        let r = SpannerResult::whole_graph(&g, "identity");
+        assert_eq!(r.size(), g.m());
+        assert_eq!(r.stretch_bound, 1.0);
+        assert_eq!(r.iterations, 0);
+        assert!(r.decomposition.is_none());
     }
 }

@@ -20,25 +20,30 @@
 
 use spanner_graph::Graph;
 
-use crate::baswana_sen::baswana_sen;
 use crate::engine::Engine;
 use crate::result::SpannerResult;
 
 /// Builds the Section 3 two-phase spanner: stretch `O(k)`, size
 /// `O(√k·n^{1+1/k})`, `O(√k)` grow iterations.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with `Algorithm::SqrtK` on the sequential backend.
 pub fn sqrt_k_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
     assert!(k >= 1, "k must be at least 1");
+    crate::pipeline::SpannerRequest::new(g, crate::pipeline::Algorithm::SqrtK { k })
+        .seed(seed)
+        .run()
+        .expect("validated above; sequential execution is infallible")
+        .result
+}
+
+/// The implementation behind [`sqrt_k_spanner`] (the pipeline's
+/// sequential `Algorithm::SqrtK` driver).
+pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    debug_assert!(k >= 1, "validated by plan()");
     let algorithm = format!("sqrt-k(k={k})");
     if k == 1 || g.m() == 0 {
-        return SpannerResult {
-            edges: (0..g.m() as u32).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
+        return SpannerResult::whole_graph(g, algorithm);
     }
 
     let n = g.n();
@@ -55,7 +60,7 @@ pub fn sqrt_k_spanner(g: &Graph, k: u32, seed: u64) -> SpannerResult {
     // Phase 2: Baswana–Sen black box on the super-graph.
     let q = engine.quotient_graph();
     let phase1_iterations = engine.iterations_run;
-    let bs = baswana_sen(&q.graph, t, crate::coins::splitmix64(seed ^ 0x5af3_7a11));
+    let bs = crate::baswana_sen::build(&q.graph, t, crate::coins::splitmix64(seed ^ 0x5af3_7a11));
     engine.add_spanner_edges(bs.edges.iter().map(|&qid| q.edge_origin[qid as usize]));
     engine.discard_live_edges();
 

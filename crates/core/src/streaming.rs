@@ -34,20 +34,37 @@ pub struct StreamingRun {
 }
 
 /// Runs the general algorithm as a multi-pass dynamic-stream algorithm.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with `Algorithm::General` on the streaming backend.
 pub fn streaming_spanner(g: &Graph, params: TradeoffParams, seed: u64) -> StreamingRun {
+    let report =
+        crate::pipeline::SpannerRequest::new(g, crate::pipeline::Algorithm::General(params))
+            .on(crate::pipeline::Backend::Streaming)
+            .seed(seed)
+            .run()
+            .expect("streaming execution of a valid schedule is infallible");
+    let stats = report
+        .stats
+        .streaming()
+        .expect("streaming backend reports streaming stats");
+    StreamingRun {
+        passes: stats.passes,
+        quoted_stretch_exponent: stats.quoted_stretch_exponent,
+        result: report.result,
+    }
+}
+
+/// The pass-accounting loop behind [`streaming_spanner`] (the
+/// pipeline's streaming driver).
+pub(crate) fn run_streaming(g: &Graph, params: TradeoffParams, seed: u64) -> StreamingRun {
     let n = g.n();
     if params.k == 1 || g.m() == 0 {
-        let result = SpannerResult {
-            edges: (0..g.m() as u32).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm: format!("streaming(k={},t={})", params.k, params.t),
-        };
         return StreamingRun {
-            result,
+            result: SpannerResult::whole_graph(
+                g,
+                format!("streaming(k={},t={})", params.k, params.t),
+            ),
             passes: 0,
             quoted_stretch_exponent: 1.0,
         };

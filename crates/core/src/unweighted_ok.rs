@@ -43,12 +43,11 @@ use spanner_graph::edge::EdgeId;
 use spanner_graph::shortest_paths::capped_bfs_ball;
 use spanner_graph::{Graph, GraphBuilder};
 
-use crate::baswana_sen::baswana_sen;
 use crate::coins::splitmix64;
 use crate::result::SpannerResult;
 
 /// Tuning knobs of the Appendix B construction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnweightedOkConfig {
     /// Memory exponent `γ ∈ (0, 1)`; balls are capped at `ball_factor ·
     /// n^{γ/2}` and the hitting set is sampled at rate `hitting_boost ·
@@ -71,8 +70,9 @@ impl Default for UnweightedOkConfig {
     }
 }
 
-/// Statistics the experiments report alongside the spanner.
-#[derive(Debug, Clone)]
+/// Statistics the experiments report alongside the spanner (carried in
+/// [`SpannerResult::decomposition`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnweightedOkStats {
     /// Number of sparse vertices (including dense fallbacks).
     pub sparse: usize,
@@ -89,39 +89,52 @@ pub struct UnweightedOkStats {
 /// Builds the Theorem 1.3 spanner. The input must be unweighted
 /// (`g.is_unweighted()`); use [`Graph::unweighted_copy`] otherwise.
 ///
-/// Returns the spanner and the decomposition statistics.
+/// The decomposition statistics ride inside the result
+/// ([`SpannerResult::decomposition`]) — formerly this returned a
+/// `(SpannerResult, UnweightedOkStats)` tuple, the one entry point
+/// whose shape diverged from every other construction.
+///
+/// Shim over [`crate::pipeline`]: equivalent to running a
+/// `SpannerRequest` with `Algorithm::UnweightedOk` on the sequential
+/// backend.
 pub fn unweighted_ok_spanner(
     g: &Graph,
     k: u32,
     cfg: UnweightedOkConfig,
     seed: u64,
-) -> (SpannerResult, UnweightedOkStats) {
+) -> SpannerResult {
     assert!(k >= 1, "k must be at least 1");
     assert!(
         g.is_unweighted(),
         "Appendix B's algorithm is defined for unweighted graphs only"
     );
     assert!(cfg.gamma > 0.0 && cfg.gamma < 1.0, "gamma must be in (0,1)");
+    crate::pipeline::SpannerRequest::new(
+        g,
+        crate::pipeline::Algorithm::UnweightedOk { k, config: cfg },
+    )
+    .seed(seed)
+    .run()
+    .expect("validated above; sequential execution is infallible")
+    .result
+}
+
+/// The implementation behind [`unweighted_ok_spanner`] (the pipeline's
+/// sequential `Algorithm::UnweightedOk` driver).
+pub(crate) fn build(g: &Graph, k: u32, cfg: UnweightedOkConfig, seed: u64) -> SpannerResult {
+    debug_assert!(k >= 1 && g.is_unweighted(), "validated by plan()");
     let algorithm = format!("unweighted-ok(k={k},gamma={})", cfg.gamma);
     let n = g.n();
     if k == 1 || g.m() == 0 {
-        let r = SpannerResult {
-            edges: (0..g.m() as EdgeId).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
-        let stats = UnweightedOkStats {
+        let mut r = SpannerResult::whole_graph(g, algorithm);
+        r.decomposition = Some(UnweightedOkStats {
             sparse: n,
             dense_assigned: 0,
             fallbacks: 0,
             hitting_set: 0,
             aux_edges: 0,
-        };
-        return (r, stats);
+        });
+        return r;
     }
 
     // ---- 1. Ball growing (graph exponentiation in MPC). ----
@@ -152,7 +165,8 @@ pub fn unweighted_ok_spanner(
     let mut fallbacks = 0usize;
     let dense_ids: Vec<u32> = (0..n as u32).filter(|&v| is_dense[v as usize]).collect();
     // (vertex, nearest z, path edge ids) — BFS restricted to the ball.
-    let assignments: Vec<(u32, Option<(u32, Vec<EdgeId>)>)> = dense_ids
+    type Assignment = (u32, Option<(u32, Vec<EdgeId>)>);
+    let assignments: Vec<Assignment> = dense_ids
         .par_iter()
         .map(|&v| {
             let ball: HashSet<u32> = balls[v as usize].vertices.iter().copied().collect();
@@ -207,7 +221,7 @@ pub fn unweighted_ok_spanner(
     let sparse = n - dense_assigned;
 
     // ---- 2. Sparse side: shared-randomness Baswana–Sen. ----
-    let bs = baswana_sen(g, k, seed);
+    let bs = crate::baswana_sen::build(g, k, seed);
     // Vertices within k+1 hops of a sparse vertex (multi-source BFS).
     let mut near_sparse = vec![false; n];
     {
@@ -221,7 +235,7 @@ pub fn unweighted_ok_spanner(
         }
         while let Some(x) = queue.pop_front() {
             let d = dist[x as usize];
-            if d >= k + 1 {
+            if d > k {
                 continue;
             }
             for (y, _w, _id) in g.neighbors(x) {
@@ -281,7 +295,7 @@ pub fn unweighted_ok_spanner(
             .iter()
             .map(|he| aux[&ordered(z_ids[he.u as usize], z_ids[he.v as usize])])
             .collect();
-        let h_spanner = baswana_sen(&h, k_h, splitmix64(seed ^ 0x7777));
+        let h_spanner = crate::baswana_sen::build(&h, k_h, splitmix64(seed ^ 0x7777));
         for &hid in &h_spanner.edges {
             spanner.push(origin[hid as usize]);
         }
@@ -302,16 +316,16 @@ pub fn unweighted_ok_spanner(
         radius_per_epoch: vec![],
         supernodes_per_epoch: vec![],
         algorithm,
+        decomposition: Some(UnweightedOkStats {
+            sparse,
+            dense_assigned,
+            fallbacks,
+            hitting_set: z_count,
+            aux_edges,
+        }),
     };
     result.canonicalise();
-    let stats = UnweightedOkStats {
-        sparse,
-        dense_assigned,
-        fallbacks,
-        hitting_set: z_count,
-        aux_edges,
-    };
-    (result, stats)
+    result
 }
 
 #[inline]
@@ -322,16 +336,12 @@ fn ordered(a: u32, b: u32) -> (u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baswana_sen::baswana_sen;
     use spanner_graph::generators::{self, WeightModel};
     use spanner_graph::verify::verify_spanner;
 
-    fn check(
-        g: &Graph,
-        k: u32,
-        cfg: UnweightedOkConfig,
-        seed: u64,
-    ) -> (SpannerResult, UnweightedOkStats) {
-        let (r, stats) = unweighted_ok_spanner(g, k, cfg, seed);
+    fn check(g: &Graph, k: u32, cfg: UnweightedOkConfig, seed: u64) -> SpannerResult {
+        let r = unweighted_ok_spanner(g, k, cfg, seed);
         spanner_graph::verify::assert_valid_edge_ids(g, &r.edges);
         let rep = verify_spanner(g, &r.edges);
         assert!(rep.all_edges_spanned, "unspanned edge (k={k})");
@@ -341,7 +351,8 @@ mod tests {
             rep.max_edge_stretch,
             r.stretch_bound
         );
-        (r, stats)
+        assert!(r.decomposition.is_some(), "stats must ride in the result");
+        r
     }
 
     #[test]
@@ -353,7 +364,8 @@ mod tests {
             ball_factor: 100.0,
             ..Default::default()
         };
-        let (r, stats) = check(&g, 3, cfg, 5);
+        let r = check(&g, 3, cfg, 5);
+        let stats = r.decomposition.as_ref().unwrap();
         assert_eq!(stats.dense_assigned, 0);
         assert_eq!(stats.sparse, g.n());
         let bs = baswana_sen(&g, 3, 5);
@@ -370,7 +382,8 @@ mod tests {
             ball_factor: 1.0,
             ..Default::default()
         };
-        let (_r, stats) = check(&g, 2, cfg, 7);
+        let r = check(&g, 2, cfg, 7);
+        let stats = r.decomposition.as_ref().unwrap();
         assert!(
             stats.dense_assigned + stats.fallbacks > 0,
             "the hub must classify dense: {stats:?}"
@@ -396,7 +409,7 @@ mod tests {
     fn size_envelope_k_n_1_plus_1_over_k() {
         let g = generators::connected_erdos_renyi(400, 0.05, WeightModel::Unit, 9);
         let k = 3u32;
-        let (r, _) = check(&g, k, UnweightedOkConfig::default(), 15);
+        let r = check(&g, k, UnweightedOkConfig::default(), 15);
         let bound =
             k as f64 * (g.n() as f64).powf(1.0 + 1.0 / k as f64) + 2.0 * k as f64 * g.n() as f64; // BS part + dense paths
         assert!(
@@ -416,15 +429,15 @@ mod tests {
     #[test]
     fn k1_is_identity() {
         let g = generators::cycle(10, WeightModel::Unit, 0);
-        let (r, _) = unweighted_ok_spanner(&g, 1, UnweightedOkConfig::default(), 0);
+        let r = unweighted_ok_spanner(&g, 1, UnweightedOkConfig::default(), 0);
         assert_eq!(r.size(), g.m());
     }
 
     #[test]
     fn deterministic_per_seed() {
         let g = generators::connected_erdos_renyi(200, 0.05, WeightModel::Unit, 21);
-        let a = unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 33).0;
-        let b = unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 33).0;
+        let a = unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 33);
+        let b = unweighted_ok_spanner(&g, 3, UnweightedOkConfig::default(), 33);
         assert_eq!(a.edges, b.edges);
     }
 }

@@ -260,8 +260,8 @@ pub fn chung_lu_power_law(
         let x = rng.gen_range(0.0..total);
         cdf.partition_point(|&c| c < x).min(n - 1) as u32
     };
-    for i in 0..n {
-        let trials = w[i].round() as usize;
+    for (i, wi) in w.iter().enumerate() {
+        let trials = wi.round() as usize;
         for _ in 0..trials {
             let j = sample_vertex(&mut rng);
             if j as usize != i {
@@ -387,10 +387,10 @@ pub fn hub_ring(ring: usize, hubs: usize, spokes: usize, weights: WeightModel, s
 /// half-edges; self-loops and duplicate pairs dropped, so degrees are
 /// *at most* `d`). A standard bounded-degree expander-like workload.
 pub fn random_regular(n: usize, d: usize, weights: WeightModel, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even for a pairing");
+    assert!((n * d).is_multiple_of(2), "n·d must be even for a pairing");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stubs: Vec<u32> = (0..n as u32)
-        .flat_map(|v| std::iter::repeat(v).take(d))
+        .flat_map(|v| std::iter::repeat_n(v, d))
         .collect();
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n.max(1));

@@ -142,8 +142,8 @@ pub fn capped_bfs_ball(g: &Graph, source: u32, max_hops: usize, max_size: usize)
                     truncated = true;
                     break 'outer;
                 }
-                if !in_ball.contains_key(&u) {
-                    in_ball.insert(u, visited.len());
+                if let std::collections::hash_map::Entry::Vacant(slot) = in_ball.entry(u) {
+                    slot.insert(visited.len());
                     visited.push(u);
                     hop.push(h);
                     next.push(u);
@@ -279,9 +279,9 @@ mod tests {
             assert_eq!(all[s as usize], dijkstra(&g, s).dist);
         }
         // Symmetry of undirected distances.
-        for a in 0..5 {
-            for b in 0..5 {
-                assert_eq!(all[a][b], all[b][a]);
+        for (a, row) in all.iter().enumerate().take(5) {
+            for (b, &d) in row.iter().enumerate().take(5) {
+                assert_eq!(d, all[b][a]);
             }
         }
     }

@@ -19,7 +19,7 @@ pub enum MemoryRegime {
 /// the constant hidden in the paper's `O(S)` per-machine guarantees —
 /// machines may hold/send/receive up to `slack·S` words per round before
 /// the simulator reports a violation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpcConfig {
     /// Local memory per machine, in words (`S`).
     pub machine_words: usize,

@@ -69,7 +69,7 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
 
     let mut shards = d.into_shards();
     shards.par_iter_mut().for_each(|shard| {
-        shard.sort_by(|a, b| key(a).cmp(&key(b)));
+        shard.sort_by_key(|a| key(a));
     });
 
     // Contiguous machine groups; every record lives inside its group's
@@ -232,7 +232,7 @@ pub fn sort_by_key<T: Record, K: Record + Ord>(
         let routed = route_with(sys, Dist::from_shards(shards), op, &dests)?;
         shards = routed.into_shards();
         shards.par_iter_mut().for_each(|shard| {
-            shard.sort_by(|a, b| key(a).cmp(&key(b)));
+            shard.sort_by_key(|a| key(a));
         });
         groups = plans.into_iter().flat_map(|plan| plan.subranges).collect();
         groups.retain(|&(lo, hi)| hi > lo);

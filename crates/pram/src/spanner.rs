@@ -1,24 +1,15 @@
 //! The general trade-off spanner on the CRCW PRAM, with measured
 //! work/depth.
 //!
-//! State evolution reuses the engine (identical coins and tie-breaks ⇒
-//! the spanner equals the sequential reference bit-for-bit); this module
-//! contributes the PRAM cost model of Section 6's closing paragraphs:
-//!
-//! * per grow iteration: one hashing pass (cluster sampling lookup
-//!   tables), one semisort (grouping edges by (super-node, neighbouring
-//!   cluster)), one generalised find-min (nearest sampled cluster) —
-//!   three `O(log* n)`-depth primitives — plus `O(1)`-depth
-//!   leader-pointer merges;
-//! * per contraction: one semisort (minimum edge per super-node pair)
-//!   and an `O(1)`-depth pointer relabel;
-//! * work: proportional to the live edges touched.
+//! The accounting loop lives in the unified pipeline
+//! (`spanner_core::pipeline`, `Backend::Pram`); this module keeps the
+//! classic entry point as a thin shim and the result type. State
+//! evolution reuses the engine (identical coins and tie-breaks ⇒ the
+//! spanner equals the sequential reference bit-for-bit).
 
-use spanner_core::engine::Engine;
+use spanner_core::pipeline::{Algorithm, Backend, SpannerRequest};
 use spanner_core::{SpannerResult, TradeoffParams};
 use spanner_graph::Graph;
-
-use crate::tracker::PramTracker;
 
 /// Outcome of a PRAM spanner run.
 #[derive(Debug, Clone)]
@@ -35,62 +26,24 @@ pub struct PramSpannerRun {
 }
 
 /// Runs the Section 5 algorithm under PRAM accounting.
+///
+/// Shim over `spanner_core::pipeline`: equivalent to running a
+/// [`SpannerRequest`] on `Backend::Pram`.
 pub fn pram_general_spanner(g: &Graph, params: TradeoffParams, seed: u64) -> PramSpannerRun {
-    let n = g.n();
-    let mut tracker = PramTracker::new(n.max(2));
-    let algorithm = format!("pram-general(k={},t={})", params.k, params.t);
-
-    if params.k == 1 || g.m() == 0 {
-        let result = SpannerResult {
-            edges: (0..g.m() as u32).collect(),
-            epochs: 0,
-            iterations: 0,
-            stretch_bound: 1.0,
-            radius_per_epoch: vec![],
-            supernodes_per_epoch: vec![],
-            algorithm,
-        };
-        return PramSpannerRun {
-            result,
-            depth: 0,
-            work: 0,
-            log_star_n: crate::tracker::log_star(n.max(2)),
-        };
-    }
-
-    let mut engine = Engine::new(g, seed);
-    let l = params.epochs();
-    for epoch in 1..=l {
-        let p = params.sampling_probability(n, epoch);
-        for iter in 1..=params.t {
-            let live = engine.live_edge_count() as u64;
-            let clusters = engine.cluster_count() as u64;
-            // Hashing: coin lookups per cluster.
-            tracker.primitive(clusters);
-            // Semisort: group candidate edges by (super-node, cluster).
-            tracker.primitive(2 * live);
-            // Generalised find-min: nearest sampled cluster per node.
-            tracker.primitive(live);
-            // Leader-pointer merge of joiners (union-find style, O(1)).
-            tracker.step(clusters);
-            engine.run_iteration(p, epoch, iter);
-        }
-        // Contraction: semisort for min-per-pair, pointer relabel.
-        let live = engine.live_edge_count() as u64;
-        tracker.primitive(live);
-        tracker.step(engine.supernode_count() as u64);
-        engine.contract();
-    }
-    // Phase 2: one more semisort over the residual edges.
-    tracker.primitive(engine.live_edge_count() as u64);
-    engine.phase2();
-
-    let result = engine.finish(algorithm, params.stretch_bound());
+    let report = SpannerRequest::new(g, Algorithm::General(params))
+        .on(Backend::Pram)
+        .seed(seed)
+        .run()
+        .expect("pram execution of a valid schedule is infallible");
+    let stats = report
+        .stats
+        .pram()
+        .expect("pram backend reports pram stats");
     PramSpannerRun {
-        result,
-        depth: tracker.depth(),
-        work: tracker.work(),
-        log_star_n: crate::tracker::log_star(n.max(2)),
+        depth: stats.depth,
+        work: stats.work,
+        log_star_n: stats.log_star_n,
+        result: report.result,
     }
 }
 

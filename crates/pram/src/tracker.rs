@@ -1,96 +1,9 @@
 //! Work/depth accounting for the CRCW PRAM model.
+//!
+//! The tracker itself now lives in `spanner_core::pipeline::pram_cost`,
+//! where the unified pipeline's `Backend::Pram` driver executes; this
+//! module re-exports it so every pre-existing
+//! `spanner_pram::tracker::{PramTracker, log_star}` path keeps
+//! compiling.
 
-/// Iterated logarithm: the number of times `log₂` must be applied to `n`
-/// before the value drops to ≤ 1.
-pub fn log_star(n: usize) -> u32 {
-    let mut x = n as f64;
-    let mut c = 0;
-    while x > 1.0 {
-        x = x.log2();
-        c += 1;
-    }
-    c
-}
-
-/// Accumulates the work and depth of a PRAM execution.
-///
-/// Two charging modes:
-/// * [`PramTracker::step`] — one synchronous parallel step
-///   (depth 1, given work);
-/// * [`PramTracker::primitive`] — one of the \[BS07] CRCW primitives
-///   (hashing, semisorting, generalised find-min), each `O(log* n)`
-///   depth with the given work.
-#[derive(Debug, Clone)]
-pub struct PramTracker {
-    /// Problem size the `log* n` factors refer to.
-    pub n: usize,
-    depth: u64,
-    work: u64,
-    primitive_invocations: u64,
-}
-
-impl PramTracker {
-    /// Fresh tracker for problem size `n`.
-    pub fn new(n: usize) -> Self {
-        PramTracker {
-            n,
-            depth: 0,
-            work: 0,
-            primitive_invocations: 0,
-        }
-    }
-
-    /// One parallel step: depth 1, `work` total operations.
-    pub fn step(&mut self, work: u64) {
-        self.depth += 1;
-        self.work += work;
-    }
-
-    /// One `O(log* n)`-depth CRCW primitive with the given work.
-    pub fn primitive(&mut self, work: u64) {
-        self.depth += log_star(self.n).max(1) as u64;
-        self.work += work;
-        self.primitive_invocations += 1;
-    }
-
-    /// Accumulated depth.
-    pub fn depth(&self) -> u64 {
-        self.depth
-    }
-
-    /// Accumulated work.
-    pub fn work(&self) -> u64 {
-        self.work
-    }
-
-    /// Number of `log*`-depth primitives invoked.
-    pub fn primitive_invocations(&self) -> u64 {
-        self.primitive_invocations
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn log_star_values() {
-        assert_eq!(log_star(1), 0);
-        assert_eq!(log_star(2), 1);
-        assert_eq!(log_star(4), 2);
-        assert_eq!(log_star(16), 3);
-        assert_eq!(log_star(65536), 4);
-        // 2^65536 is out of range; anything practical is ≤ 5.
-        assert_eq!(log_star(usize::MAX), 5);
-    }
-
-    #[test]
-    fn charges_accumulate() {
-        let mut t = PramTracker::new(65536);
-        t.step(100);
-        t.primitive(1000);
-        assert_eq!(t.depth(), 1 + 4);
-        assert_eq!(t.work(), 1100);
-        assert_eq!(t.primitive_invocations(), 1);
-    }
-}
+pub use spanner_core::pipeline::pram_cost::{log_star, PramTracker};

@@ -3,34 +3,36 @@
 //! cost, in the model's own currency (rounds, per-machine memory,
 //! traffic).
 //!
-//! Shows the Theorem 1.1 accounting live: the same logical algorithm,
-//! executed through the Section 6 primitives on deployments with
-//! shrinking machine memory, with the runtime *enforcing* the memory
-//! and bandwidth constraints and counting the rounds it actually used.
+//! Shows the Theorem 1.1 accounting live through the pipeline: **one**
+//! `SpannerRequest`, re-targeted at deployments with shrinking machine
+//! memory by swapping only the `Backend`, with the runtime *enforcing*
+//! the memory and bandwidth constraints and counting the rounds it
+//! actually used.
 //!
 //! ```sh
 //! cargo run --release --example mpc_cluster_run
 //! ```
 
-use mpc_spanners::core::mpc_driver::mpc_general_spanner_with_config;
-use mpc_spanners::core::{general_spanner, BuildOptions, TradeoffParams};
+use mpc_spanners::core::TradeoffParams;
 use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
 use mpc_spanners::mpc::MpcConfig;
+use mpc_spanners::pipeline::{Algorithm, Backend, SpannerRequest};
 
 fn main() {
     let g = connected_erdos_renyi(4000, 0.003, WeightModel::Uniform(1, 100), 3);
     let params = TradeoffParams::new(8, 3);
+    let request = SpannerRequest::new(&g, Algorithm::General(params)).seed(11);
+    let plan = request.plan().expect("valid request");
     println!(
-        "input: n = {}, m = {}; algorithm: general(k={}, t={}), {} grow iterations\n",
+        "input: n = {}, m = {}; algorithm: {}, {} grow iterations planned\n",
         g.n(),
         g.m(),
-        params.k,
-        params.t,
-        params.iterations()
+        plan.algorithm,
+        plan.iterations,
     );
 
     // The sequential reference — the answer every deployment must match.
-    let reference = general_spanner(&g, params, 11, BuildOptions::default());
+    let reference = request.run().expect("sequential run").result;
     println!("reference spanner: {} edges\n", reference.size());
 
     let input_words = 4 * g.m() + 2 * g.n() + 64;
@@ -40,16 +42,22 @@ fn main() {
     );
     for s in [2048usize, 4096, 8192, 16384] {
         let cfg = MpcConfig::explicit(s, input_words.div_ceil(s).max(2), 8);
-        let run = mpc_general_spanner_with_config(&g, params, cfg, 11)
+        // The same request, unmodified, on a different backend.
+        let run = request
+            .clone()
+            .on(Backend::Mpc(cfg.into()))
+            .run()
             .expect("constraints hold on this deployment");
+        let stats = run.stats.mpc().expect("mpc backend reports mpc stats");
+        let (metrics, config) = (&stats.metrics, &stats.config);
         println!(
             "{:>8} {:>6} {:>8} {:>12.1} {:>9}/{:<6} {:>7}",
             s,
-            cfg.num_machines,
-            run.metrics.rounds,
-            run.metrics.rounds as f64 / run.result.iterations.max(1) as f64,
-            run.metrics.peak_machine_words,
-            cfg.capacity(),
+            config.num_machines,
+            metrics.rounds,
+            metrics.rounds as f64 / run.result.iterations.max(1) as f64,
+            metrics.peak_machine_words,
+            config.capacity(),
             run.result.edges == reference.edges,
         );
     }

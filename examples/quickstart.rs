@@ -1,17 +1,15 @@
-//! Quickstart: build a spanner along the paper's round/stretch
-//! trade-off, verify it exactly, and print the predicted-vs-measured
-//! summary.
+//! Quickstart: one `SpannerRequest` per point on the paper's
+//! round/stretch trade-off, planned, batch-executed and verified
+//! through the unified pipeline, with predicted vs measured side by
+//! side.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use mpc_spanners::core::baswana_sen::baswana_sen;
-use mpc_spanners::core::cluster_merging::cluster_merging_spanner;
-use mpc_spanners::core::sqrt_k::sqrt_k_spanner;
-use mpc_spanners::core::{general_spanner, TradeoffParams};
+use mpc_spanners::core::TradeoffParams;
 use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
-use mpc_spanners::graph::verify::verify_spanner;
+use mpc_spanners::pipeline::{Algorithm, Batch, SpannerRequest, Verification};
 
 fn main() {
     // A weighted graph: G(n, p) plus a connectivity backbone, weights
@@ -20,28 +18,38 @@ fn main() {
     println!("input graph: n = {}, m = {}", g.n(), g.m());
 
     let k = 16u32;
-    let runs = [
-        (
-            "Section 4  (t=1, fastest)",
-            cluster_merging_spanner(&g, k, 42),
-        ),
+    let requests = [
+        ("Section 4  (t=1, fastest)", Algorithm::ClusterMerging { k }),
         (
             "Section 5  (t=log k)     ",
-            general_spanner(&g, TradeoffParams::log_k(k), 42, Default::default()),
+            Algorithm::General(TradeoffParams::log_k(k)),
         ),
-        ("Section 3  (two-phase)   ", sqrt_k_spanner(&g, k, 42)),
-        ("Baswana-Sen baseline     ", baswana_sen(&g, k, 42)),
+        ("Section 3  (two-phase)   ", Algorithm::SqrtK { k }),
+        ("Baswana-Sen baseline     ", Algorithm::BaswanaSen { k }),
     ];
-    for (label, spanner) in runs {
-        let report = verify_spanner(&g, &spanner.edges);
-        assert!(report.all_edges_spanned, "every edge must be spanned");
+
+    // One request per algorithm; the batch runs them concurrently and
+    // `Verification::Enforce` turns any violated guarantee into an Err.
+    let batch: Batch = requests
+        .iter()
+        .map(|&(_, algorithm)| {
+            SpannerRequest::new(&g, algorithm)
+                .seed(42)
+                .verification(Verification::Enforce)
+        })
+        .collect();
+
+    for ((label, _), report) in requests.iter().zip(batch.run()) {
+        let report = report.expect("every guarantee must hold");
+        let verified = report.verification.as_ref().expect("verification ran");
         println!(
-            "{label}: {:>4} iterations | {:>5} edges ({:>4.1}% of m) | stretch {:>6.2} (bound {:>7.2})",
-            spanner.iterations,
-            spanner.size(),
-            100.0 * spanner.size() as f64 / g.m() as f64,
-            report.max_edge_stretch,
-            spanner.stretch_bound,
+            "{label}: {:>4}/{:<4} iterations (measured/planned) | {:>5} edges ({:>4.1}% of m) | stretch {:>6.2} (bound {:>7.2})",
+            report.result.iterations,
+            report.plan.iterations,
+            report.size(),
+            100.0 * report.size() as f64 / g.m() as f64,
+            verified.max_edge_stretch,
+            report.result.stretch_bound,
         );
     }
     println!("\nThe trade-off of Theorem 1.1: fewer iterations <-> more stretch.");

@@ -6,17 +6,18 @@
 //! A random geometric graph with Euclidean weights stands in for the
 //! road network. We sweep the sparsity parameter `k` of the Appendix B
 //! unweighted algorithm on the connectivity topology *and* the weighted
-//! general algorithm on the true weights, and print the operating
-//! curve: spanner size vs worst-case detour.
+//! general algorithm on the true weights — all through the pipeline's
+//! request/report API, with inline verification — and print the
+//! operating curve: spanner size vs worst-case detour.
 //!
 //! ```sh
 //! cargo run --release --example road_network_spanner
 //! ```
 
-use mpc_spanners::core::unweighted_ok::{unweighted_ok_spanner, UnweightedOkConfig};
-use mpc_spanners::core::{general_spanner, BuildOptions, TradeoffParams};
+use mpc_spanners::core::unweighted_ok::UnweightedOkConfig;
+use mpc_spanners::core::TradeoffParams;
 use mpc_spanners::graph::generators::geometric_euclidean;
-use mpc_spanners::graph::verify::verify_spanner;
+use mpc_spanners::pipeline::{Algorithm, Batch, SpannerRequest, Verification};
 
 fn main() {
     let g = geometric_euclidean(2000, 0.045, 12345);
@@ -28,31 +29,53 @@ fn main() {
     );
 
     println!("weighted spanners (Section 5, t = log k):");
-    for k in [2u32, 4, 8, 16] {
-        let r = general_spanner(&g, TradeoffParams::log_k(k), 5, BuildOptions::default());
-        let rep = verify_spanner(&g, &r.edges);
-        assert!(rep.all_edges_spanned);
+    let ks = [2u32, 4, 8, 16];
+    let batch: Batch = ks
+        .iter()
+        .map(|&k| {
+            SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(k)))
+                .seed(5)
+                .verification(Verification::Enforce)
+        })
+        .collect();
+    for (&k, report) in ks.iter().zip(batch.run()) {
+        let report = report.expect("guarantee must hold");
+        let v = report.verification.as_ref().expect("verification ran");
         println!(
-            "  k={k:>2}: kept {:>5} / {} edges ({:>4.1}%), worst detour {:>5.2}x, avg {:.2}x",
-            r.size(),
+            "  k={k:>2}: kept {:>5} / {} edges ({:>4.1}%), worst detour {:>5.2}x (bound {:>6.1}x)",
+            report.size(),
             g.m(),
-            100.0 * r.size() as f64 / g.m() as f64,
-            rep.max_edge_stretch.max(1.0),
-            rep.avg_edge_stretch.max(1.0),
+            100.0 * report.size() as f64 / g.m() as f64,
+            v.max_edge_stretch.max(1.0),
+            report.result.stretch_bound,
         );
     }
 
     println!("\nunweighted topology spanners (Appendix B, O(k) stretch):");
     let topo = g.unweighted_copy();
     for k in [2u32, 3, 4] {
-        let (r, stats) = unweighted_ok_spanner(&topo, k, UnweightedOkConfig::default(), 5);
-        let rep = verify_spanner(&topo, &r.edges);
-        assert!(rep.all_edges_spanned);
+        let report = SpannerRequest::new(
+            &topo,
+            Algorithm::UnweightedOk {
+                k,
+                config: UnweightedOkConfig::default(),
+            },
+        )
+        .seed(5)
+        .verification(Verification::Enforce)
+        .run()
+        .expect("guarantee must hold");
+        let v = report.verification.as_ref().expect("verification ran");
+        let stats = report
+            .result
+            .decomposition
+            .as_ref()
+            .expect("appendix B fills its stats");
         println!(
             "  k={k}: kept {:>5} edges, hop stretch {:>4.1} (bound {:>5.1}), sparse/dense = {}/{}",
-            r.size(),
-            rep.max_edge_stretch,
-            r.stretch_bound,
+            report.size(),
+            v.max_edge_stretch,
+            report.result.stretch_bound,
             stats.sparse,
             stats.dense_assigned,
         );

@@ -2,20 +2,21 @@
 //! graph — the skewed-degree, web-scale workload that motivates the MPC
 //! literature (paper §1.1).
 //!
-//! A power-law (Chung–Lu) graph stands in for the social network. We
-//! run the paper's Section 7 pipeline — near-linear-memory MPC builds
-//! an `O(n log log n)`-edge spanner in `poly(log log n)` rounds, ships
-//! it to one machine, and that machine answers distance queries — and
-//! check the answers against exact Dijkstra.
+//! A power-law (Chung–Lu) graph stands in for the social network. The
+//! pipeline runs the Corollary 1.2(4) APSP regime (`k = ⌈log n⌉`,
+//! `t = ⌈log log n⌉` — an `O(n log log n)`-edge spanner in
+//! `poly(log log n)` rounds), the spanner becomes a distance oracle on
+//! one machine, and the answers are checked against exact Dijkstra.
 //!
 //! ```sh
 //! cargo run --release --example social_network_distances
 //! ```
 
-use mpc_spanners::apsp::{build_oracle, measure_approximation};
+use mpc_spanners::apsp::{measure_approximation, ApspOracle};
 use mpc_spanners::graph::generators::chung_lu_power_law;
 use mpc_spanners::graph::generators::WeightModel;
 use mpc_spanners::graph::shortest_paths::dijkstra;
+use mpc_spanners::pipeline::{Algorithm, CorollarySetting, SpannerRequest};
 
 fn main() {
     // "Interaction strength" weights: small = strong tie.
@@ -27,9 +28,26 @@ fn main() {
         g.max_degree()
     );
 
-    let oracle = build_oracle(&g, 7);
+    // Corollary 1.2(4): the APSP regime derives k and t from n.
+    let report = SpannerRequest::new(
+        &g,
+        Algorithm::Corollary {
+            setting: CorollarySetting::ApspRegime,
+            k: 0, // ignored: ApspRegime derives k = ⌈log n⌉
+        },
+    )
+    .seed(7)
+    .run()
+    .expect("sequential execution is infallible");
+    let oracle = ApspOracle::from_parts(
+        &g,
+        report.result.edges.clone(),
+        report.result.stretch_bound,
+        report.result.iterations,
+    );
     println!(
-        "oracle: {} spanner edges ({:.1}% of m), {} grow iterations, guarantee {:.1}x",
+        "oracle [{}]: {} spanner edges ({:.1}% of m), {} grow iterations, guarantee {:.1}x",
+        report.result.algorithm,
         oracle.size(),
         100.0 * oracle.size() as f64 / g.m() as f64,
         oracle.iterations,

@@ -3,18 +3,18 @@
 //! distance computation" workflow of the paper's §1.2, with the §2.4
 //! pass accounting.
 //!
-//! Demonstrates the edge-list I/O, the streaming driver, and exact
-//! verification in one pipeline:
+//! Demonstrates the edge-list I/O, the pipeline's streaming backend
+//! (passes predicted by `plan()` and measured by `run()`), and exact
+//! verification in one workflow:
 //!
 //! ```sh
 //! cargo run --release --example stream_sparsify_file
 //! ```
 
-use mpc_spanners::core::streaming::streaming_spanner;
 use mpc_spanners::core::TradeoffParams;
 use mpc_spanners::graph::generators::{random_regular, WeightModel};
 use mpc_spanners::graph::io::{read_edge_list_file, write_edge_list_file};
-use mpc_spanners::graph::verify::verify_spanner;
+use mpc_spanners::pipeline::{Algorithm, Backend, SpannerRequest, Verification};
 
 fn main() {
     let dir = std::env::temp_dir();
@@ -34,19 +34,37 @@ fn main() {
     // Stream job: log k passes, k^{log 3} stretch (Section 2.4 / §4).
     let g = read_edge_list_file(&input).expect("read input");
     let k = 8u32;
-    let run = streaming_spanner(&g, TradeoffParams::cluster_merging(k), 7);
-    let report = verify_spanner(&g, &run.result.edges);
-    assert!(report.all_edges_spanned);
+    let request = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::cluster_merging(k)))
+        .on(Backend::Streaming)
+        .seed(7)
+        .verification(Verification::Enforce);
+    let plan = request.plan().expect("valid request");
+    let report = request.run().expect("guarantee must hold");
+    let passes = report
+        .stats
+        .streaming()
+        .expect("streaming backend reports streaming stats")
+        .passes;
+    assert_eq!(
+        Some(passes),
+        plan.streaming_passes,
+        "plan predicted the passes"
+    );
 
-    let spanner = g.edge_subgraph(&run.result.edges);
+    let spanner = g.edge_subgraph(&report.result.edges);
     write_edge_list_file(&spanner, &output).expect("write spanner");
     println!("wrote output: {} (m={})", output.display(), spanner.m());
     println!(
-        "\n{} stream passes | kept {:.1}% of edges | worst detour {:.2}x (bound {:.0}x)",
-        run.passes,
-        100.0 * run.result.size() as f64 / g.m() as f64,
-        report.max_edge_stretch.max(1.0),
-        run.result.stretch_bound,
+        "\n{} stream passes (as planned) | kept {:.1}% of edges | worst detour {:.2}x (bound {:.0}x)",
+        passes,
+        100.0 * report.size() as f64 / g.m() as f64,
+        report
+            .verification
+            .as_ref()
+            .expect("verification ran")
+            .max_edge_stretch
+            .max(1.0),
+        report.result.stretch_bound,
     );
 
     let _ = std::fs::remove_file(&input);

@@ -4,8 +4,19 @@
 //! Approximation and Spanners"* (Biswas, Dory, Ghaffari, Mitrović,
 //! Nazari — SPAA 2021, arXiv:2003.01254) as a Rust workspace.
 //!
+//! **Start at [`pipeline`]** — the one front door over every algorithm
+//! × execution model: build a [`pipeline::SpannerRequest`], inspect its
+//! [`pipeline::SpannerRequest::plan`] (predicted rounds/stretch/size
+//! before running), then [`pipeline::SpannerRequest::run`] it on any
+//! [`pipeline::Backend`] (sequential, MPC, Congested Clique, PRAM,
+//! streaming) for a unified [`pipeline::RunReport`]. A
+//! [`pipeline::Batch`] serves many requests concurrently. The per-model
+//! free functions remain available as shims with their historical
+//! signatures.
+//!
 //! This facade crate re-exports the public surface of the workspace:
 //!
+//! * [`pipeline`] — the unified request/plan/report API (start here);
 //! * [`graph`] — graph substrate (CSR graphs, generators, exact
 //!   distances, spanner verification);
 //! * [`mpc`] — the MPC model simulator (machines, rounds, memory
@@ -20,22 +31,32 @@
 //! ## Quickstart
 //!
 //! ```
-//! use mpc_spanners::core::{general_spanner, BuildOptions, TradeoffParams};
+//! use mpc_spanners::pipeline::{Algorithm, Backend, SpannerRequest, Verification};
+//! use mpc_spanners::core::TradeoffParams;
 //! use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
-//! use mpc_spanners::graph::verify::verify_spanner;
 //!
 //! let g = connected_erdos_renyi(200, 0.05, WeightModel::Uniform(1, 16), 7);
 //! // Corollary 1.2(3): t = log k, stretch k^{1+o(1)} in O(log²k/loglog k) rounds.
-//! let params = TradeoffParams::log_k(8);
-//! let spanner = general_spanner(&g, params, 42, BuildOptions::default());
-//! let report = verify_spanner(&g, &spanner.edges);
-//! assert!(report.all_edges_spanned);
-//! assert!(report.max_edge_stretch <= spanner.stretch_bound);
+//! let request = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(8)))
+//!     .seed(42)
+//!     .verification(Verification::Enforce);
+//!
+//! let plan = request.plan().unwrap(); // predicted bounds, before running
+//! let report = request.run().unwrap(); // runs + verifies inline
+//! assert!(report.result.iterations <= plan.iterations);
+//! assert!(report.verification.unwrap().ok());
+//!
+//! // The same request, unmodified, on the MPC simulator: identical
+//! // spanner edges, plus measured rounds/traffic/peak memory.
+//! let mpc = request.clone().on(Backend::mpc()).run().unwrap();
+//! assert_eq!(mpc.result.edges, report.result.edges);
+//! assert!(mpc.stats.model_rounds().unwrap() > 0);
 //! ```
 
 pub use congested_clique as cc;
 pub use mpc_runtime as mpc;
 pub use spanner_apsp as apsp;
 pub use spanner_core as core;
+pub use spanner_core::pipeline;
 pub use spanner_graph as graph;
 pub use spanner_pram as pram;

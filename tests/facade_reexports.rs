@@ -1,8 +1,9 @@
 //! The facade contract: `mpc_spanners::{graph, mpc, core, apsp, cc, pram}`
-//! must re-export the six workspace crates, and the names the crate-root
-//! rustdoc advertises must resolve *through the facade paths*. A build
-//! failure here means a re-export was dropped or renamed — a breaking
-//! change for every downstream `use mpc_spanners::...`.
+//! must re-export the six workspace crates — plus `mpc_spanners::pipeline`,
+//! the unified front door — and the names the crate-root rustdoc
+//! advertises must resolve *through the facade paths*. A build failure
+//! here means a re-export was dropped or renamed — a breaking change for
+//! every downstream `use mpc_spanners::...`.
 
 use mpc_spanners::apsp::{build_oracle, measure_approximation};
 use mpc_spanners::cc::{cc_apsp, cc_spanner};
@@ -52,4 +53,24 @@ fn advertised_entry_points_resolve_and_run() {
 
     let pram = pram_general_spanner(&g, TradeoffParams::new(4, 2), 5);
     assert!(verify_spanner(&g, &pram.result.edges).all_edges_spanned);
+}
+
+/// `mpc_spanners::pipeline` is the same module as
+/// `spanner_core::pipeline`, and the advertised request flow works
+/// through the facade path.
+#[test]
+fn pipeline_reexport_resolves_and_runs() {
+    use mpc_spanners::pipeline::{Algorithm, Backend, SpannerRequest, Verification};
+
+    let g = connected_erdos_renyi(80, 0.1, WeightModel::Uniform(1, 8), 7);
+    let request: spanner_core::pipeline::SpannerRequest =
+        SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2)))
+            .seed(3)
+            .verification(Verification::Enforce);
+    let plan = request.plan().expect("valid request");
+    let report = request.run().expect("guarantees hold");
+    assert!(report.result.iterations <= plan.iterations);
+
+    let mpc = request.on(Backend::mpc()).run().expect("mpc run");
+    assert_eq!(mpc.result.edges, report.result.edges);
 }

@@ -1,0 +1,403 @@
+//! The unified pipeline's contract:
+//!
+//! 1. **One request, every backend** — a single `SpannerRequest` with an
+//!    engine-schedule algorithm runs unmodified on Sequential, Mpc,
+//!    CongestedClique, Pram and Streaming, and all five produce
+//!    identical spanner edges at a fixed seed (shared coins, identical
+//!    tie-breaks).
+//! 2. **plan() predicts run()** — the predicted epochs/iterations are
+//!    exact whenever the schedule runs to completion, and sound upper
+//!    bounds otherwise (property-tested over all four Corollary 1.2
+//!    settings); the predicted stretch bound always equals the measured
+//!    result's bound.
+//! 3. **Shims are bit-identical** — every legacy free function returns
+//!    exactly what the pipeline returns for the corresponding request.
+//! 4. **Batches fail per-request** — one malformed request cannot abort
+//!    its neighbours, and batch output is independent of thread count.
+
+use proptest::prelude::*;
+
+use mpc_spanners::core::baswana_sen::baswana_sen;
+use mpc_spanners::core::cluster_merging::cluster_merging_spanner;
+use mpc_spanners::core::mpc_driver::mpc_general_spanner;
+use mpc_spanners::core::presets::corollary_spanner;
+use mpc_spanners::core::sqrt_k::sqrt_k_spanner;
+use mpc_spanners::core::streaming::streaming_spanner;
+use mpc_spanners::core::unweighted_ok::{unweighted_ok_spanner, UnweightedOkConfig};
+use mpc_spanners::core::{best_of, general_spanner, BuildOptions, TradeoffParams};
+use mpc_spanners::graph::generators::{self, Family, WeightModel};
+use mpc_spanners::pipeline::{
+    Algorithm, Backend, Batch, CorollarySetting, PipelineError, SpannerRequest, Verification,
+};
+
+fn all_backends() -> [Backend; 5] {
+    [
+        Backend::Sequential,
+        Backend::mpc(),
+        Backend::congested_clique(),
+        Backend::Pram,
+        Backend::Streaming,
+    ]
+}
+
+#[test]
+fn one_request_runs_on_every_backend_with_identical_edges() {
+    let families = [
+        Family::ErdosRenyi {
+            n: 120,
+            avg_deg: 8.0,
+        },
+        Family::CliqueChain {
+            cliques: 8,
+            size: 8,
+        },
+    ];
+    // Every engine-schedule algorithm, not just General: the README
+    // advertises the five-backend agreement for all three.
+    let algorithms = [
+        Algorithm::General(TradeoffParams::new(8, 3)),
+        Algorithm::ClusterMerging { k: 8 },
+        Algorithm::Corollary {
+            setting: CorollarySetting::LogK,
+            k: 8,
+        },
+    ];
+    for family in families {
+        let g = family.generate(WeightModel::Uniform(1, 32), 0xF00D);
+        for algorithm in algorithms {
+            let request = SpannerRequest::new(&g, algorithm).seed(99);
+            let reference = request.run().expect("sequential").result;
+            assert!(!reference.edges.is_empty());
+            for backend in all_backends() {
+                let report = request
+                    .clone()
+                    .on(backend)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", backend.name()));
+                assert_eq!(
+                    report.result.edges,
+                    reference.edges,
+                    "backend {} diverged from the sequential reference ({})",
+                    backend.name(),
+                    reference.algorithm,
+                );
+                assert_eq!(report.plan.backend, backend.name());
+                // The report names the algorithm the user requested on
+                // every backend (General keeps the per-model executor
+                // labels for shim compatibility) and always carries the
+                // planned bound.
+                if !matches!(algorithm, Algorithm::General(_)) {
+                    assert_eq!(report.result.algorithm, reference.algorithm);
+                }
+                assert_eq!(report.result.stretch_bound, report.plan.stretch_bound);
+                // The common stats surface: every model backend reports a
+                // headline cost; the sequential reference reports none.
+                match backend {
+                    Backend::Sequential => assert!(report.stats.model_rounds().is_none()),
+                    _ => assert!(report.stats.model_rounds().unwrap() > 0),
+                }
+                assert!(!report.stats.summary().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn verification_policy_is_honoured_on_every_backend() {
+    let g = generators::connected_erdos_renyi(100, 0.08, WeightModel::Uniform(1, 8), 5);
+    for backend in all_backends() {
+        let report = SpannerRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2)))
+            .on(backend)
+            .seed(3)
+            .verification(Verification::Enforce)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", backend.name()));
+        assert!(
+            report.verification.expect("verification ran").ok(),
+            "{}",
+            backend.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// plan() vs run() over all four Corollary 1.2 settings: the
+    /// measured schedule never exceeds the prediction, iterations stay
+    /// consistent with epochs (`t` per executed epoch), and the stretch
+    /// bound is predicted exactly.
+    #[test]
+    fn plan_matches_run_for_all_corollary_settings(
+        n in 40usize..160,
+        avg_deg in 4.0f64..10.0,
+        k in 2u32..17,
+        seed in 0u64..1000,
+    ) {
+        let g = Family::ErdosRenyi { n, avg_deg }.generate(WeightModel::Uniform(1, 16), seed ^ 0xC0);
+        for setting in CorollarySetting::all() {
+            let request = SpannerRequest::new(&g, Algorithm::Corollary { setting, k }).seed(seed);
+            let plan = request.plan().expect("valid setting");
+            let report = request.run().expect("sequential run");
+            let params = plan.schedule.expect("corollary resolves to a schedule");
+            prop_assert_eq!(plan.epochs, params.epochs());
+            prop_assert_eq!(plan.iterations, params.iterations());
+            prop_assert!(report.result.epochs <= plan.epochs);
+            prop_assert!(report.result.iterations <= plan.iterations);
+            // The engine runs t iterations per executed epoch.
+            prop_assert_eq!(report.result.iterations, report.result.epochs * params.t);
+            // Early exit only happens when the live edge set is exhausted,
+            // in which case the schedule is allowed to stop short; when it
+            // completes, the prediction is exact.
+            if report.result.epochs == plan.epochs {
+                prop_assert_eq!(report.result.iterations, plan.iterations);
+            }
+            prop_assert_eq!(report.result.stretch_bound, plan.stretch_bound);
+        }
+    }
+}
+
+#[test]
+fn plan_matches_run_for_custom_sequential_algorithms() {
+    // BaswanaSen / SqrtK / UnweightedOk predict their bounds with
+    // formulas maintained alongside the builders; pin that the two
+    // stay in sync (iterations/epochs are exact for these algorithms —
+    // they have no early-exit path — and the stretch bound always is).
+    let g = generators::connected_erdos_renyi(150, 0.08, WeightModel::Uniform(1, 16), 31);
+    let topo = g.unweighted_copy();
+    let requests = [
+        SpannerRequest::new(&g, Algorithm::BaswanaSen { k: 6 }),
+        SpannerRequest::new(&g, Algorithm::SqrtK { k: 9 }),
+        SpannerRequest::new(
+            &topo,
+            Algorithm::UnweightedOk {
+                k: 3,
+                config: UnweightedOkConfig::default(),
+            },
+        ),
+    ];
+    for request in requests {
+        let request = request.seed(13);
+        let plan = request.plan().expect("valid request");
+        let report = request.run().expect("sequential run");
+        assert_eq!(
+            report.result.iterations, plan.iterations,
+            "{}: measured iterations diverge from plan",
+            plan.algorithm
+        );
+        assert_eq!(
+            report.result.epochs, plan.epochs,
+            "{}: measured epochs diverge from plan",
+            plan.algorithm
+        );
+        assert_eq!(
+            report.result.stretch_bound, plan.stretch_bound,
+            "{}: stretch bound diverges from plan",
+            plan.algorithm
+        );
+    }
+}
+
+#[test]
+fn plan_is_exact_when_the_schedule_completes() {
+    // Dense enough that no epoch exhausts the live edges: the measured
+    // schedule equals the plan for every corollary setting.
+    let g = generators::connected_erdos_renyi(300, 0.15, WeightModel::Uniform(1, 64), 9);
+    for setting in CorollarySetting::all() {
+        let request = SpannerRequest::new(&g, Algorithm::Corollary { setting, k: 9 }).seed(17);
+        let plan = request.plan().unwrap();
+        let report = request.run().unwrap();
+        assert_eq!(
+            (report.result.epochs, report.result.iterations),
+            (plan.epochs, plan.iterations),
+            "{}: schedule must run to completion on a dense graph",
+            setting.label()
+        );
+    }
+}
+
+#[test]
+fn shims_are_bit_identical_to_pipeline_output() {
+    let g = generators::connected_erdos_renyi(110, 0.09, WeightModel::PowersOfTwo(6), 21);
+    let params = TradeoffParams::new(8, 2);
+    let seed = 1234u64;
+
+    let via = |request: SpannerRequest| request.run().expect("valid").result;
+
+    // Sequential engine schedule.
+    assert_eq!(
+        general_spanner(&g, params, seed, BuildOptions::default()).edges,
+        via(SpannerRequest::new(&g, Algorithm::General(params)).seed(seed)).edges
+    );
+    // Custom sequential constructions.
+    assert_eq!(
+        baswana_sen(&g, 5, seed).edges,
+        via(SpannerRequest::new(&g, Algorithm::BaswanaSen { k: 5 }).seed(seed)).edges
+    );
+    assert_eq!(
+        sqrt_k_spanner(&g, 9, seed).edges,
+        via(SpannerRequest::new(&g, Algorithm::SqrtK { k: 9 }).seed(seed)).edges
+    );
+    assert_eq!(
+        cluster_merging_spanner(&g, 8, seed).edges,
+        via(SpannerRequest::new(&g, Algorithm::ClusterMerging { k: 8 }).seed(seed)).edges
+    );
+    assert_eq!(
+        corollary_spanner(&g, CorollarySetting::LogK, 8, seed).edges,
+        via(SpannerRequest::new(
+            &g,
+            Algorithm::Corollary {
+                setting: CorollarySetting::LogK,
+                k: 8
+            }
+        )
+        .seed(seed))
+        .edges
+    );
+    // Appendix B (unweighted).
+    let topo = g.unweighted_copy();
+    let cfg = UnweightedOkConfig::default();
+    let shim = unweighted_ok_spanner(&topo, 3, cfg, seed);
+    let pipe =
+        via(SpannerRequest::new(&topo, Algorithm::UnweightedOk { k: 3, config: cfg }).seed(seed));
+    assert_eq!(shim.edges, pipe.edges);
+    assert_eq!(shim.decomposition, pipe.decomposition);
+
+    // Model backends.
+    let streaming = streaming_spanner(&g, params, seed);
+    let pipe = SpannerRequest::new(&g, Algorithm::General(params))
+        .on(Backend::Streaming)
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert_eq!(streaming.result.edges, pipe.result.edges);
+    assert_eq!(
+        streaming.passes,
+        pipe.stats.streaming().expect("streaming stats").passes
+    );
+
+    let mpc = mpc_general_spanner(&g, params, 0.5, seed).unwrap();
+    let pipe = SpannerRequest::new(&g, Algorithm::General(params))
+        .on(Backend::mpc_gamma(0.5))
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert_eq!(mpc.result.edges, pipe.result.edges);
+    assert_eq!(
+        mpc.metrics.rounds,
+        pipe.stats.mpc().expect("mpc stats").metrics.rounds
+    );
+
+    let cc = congested_clique::cc_spanner(&g, params, seed, 4);
+    let pipe = SpannerRequest::new(&g, Algorithm::General(params))
+        .on(Backend::CongestedClique { repetitions: 4 })
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert_eq!(cc.result.edges, pipe.result.edges);
+    let stats = pipe.stats.congested_clique().expect("clique stats");
+    assert_eq!(cc.rounds, stats.rounds);
+    assert_eq!(cc.chosen_runs, stats.chosen_runs);
+
+    let pram = spanner_pram::pram_general_spanner(&g, params, seed);
+    let pipe = SpannerRequest::new(&g, Algorithm::General(params))
+        .on(Backend::Pram)
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert_eq!(pram.result.edges, pipe.result.edges);
+    let stats = pipe.stats.pram().expect("pram stats");
+    assert_eq!(pram.depth, stats.depth);
+    assert_eq!(pram.work, stats.work);
+}
+
+#[test]
+fn best_of_shim_still_picks_the_smallest_copy() {
+    let g = generators::connected_erdos_renyi(150, 0.1, WeightModel::Unit, 19);
+    let params = TradeoffParams::new(4, 2);
+    // best_of now fans out through Batch; its selection must remain the
+    // deterministic minimum over the same derived seeds.
+    let best = best_of(&g, params, 77, 5, BuildOptions::default());
+    let sizes: Vec<usize> = (0..5u64)
+        .map(|r| {
+            general_spanner(
+                &g,
+                params,
+                mpc_spanners::core::coins::splitmix64(77 ^ r),
+                BuildOptions::default(),
+            )
+            .size()
+        })
+        .collect();
+    assert_eq!(best.size(), *sizes.iter().min().unwrap());
+}
+
+#[test]
+fn batch_mixes_backends_and_survives_malformed_requests() {
+    let g = generators::connected_erdos_renyi(90, 0.1, WeightModel::Uniform(1, 8), 2);
+    let params = TradeoffParams::new(4, 2);
+    let batch = Batch::new()
+        .with(SpannerRequest::new(&g, Algorithm::General(params)).seed(5))
+        .with(
+            SpannerRequest::new(&g, Algorithm::General(params))
+                .on(Backend::Pram)
+                .seed(5),
+        )
+        // Malformed: ε ≤ 0 must fail alone, not abort the batch.
+        .with(SpannerRequest::new(
+            &g,
+            Algorithm::Corollary {
+                setting: CorollarySetting::Epsilon(-0.5),
+                k: 8,
+            },
+        ))
+        // Unsupported combination: typed error, not a panic.
+        .with(
+            SpannerRequest::new(&g, Algorithm::BaswanaSen { k: 4 })
+                .on(Backend::Streaming)
+                .seed(5),
+        )
+        .with(
+            SpannerRequest::new(&g, Algorithm::General(params))
+                .on(Backend::congested_clique())
+                .seed(5),
+        );
+    let reports = batch.run();
+    assert_eq!(reports.len(), 5);
+    let seq = reports[0].as_ref().expect("sequential ok");
+    assert_eq!(
+        reports[1].as_ref().expect("pram ok").result.edges,
+        seq.result.edges
+    );
+    assert!(matches!(reports[2], Err(PipelineError::InvalidRequest(_))));
+    assert!(matches!(
+        reports[3],
+        Err(PipelineError::UnsupportedBackend { .. })
+    ));
+    assert_eq!(
+        reports[4].as_ref().expect("cc ok").result.edges,
+        seq.result.edges
+    );
+}
+
+#[test]
+fn batch_output_is_thread_count_independent() {
+    let g = generators::connected_erdos_renyi(120, 0.08, WeightModel::Uniform(1, 16), 4);
+    let batch: Batch = (0..6u64)
+        .map(|s| SpannerRequest::new(&g, Algorithm::General(TradeoffParams::log_k(8))).seed(s))
+        .collect();
+    let run_sizes = |threads: usize| -> Vec<usize> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            batch
+                .run()
+                .into_iter()
+                .map(|r| r.expect("valid").size())
+                .collect()
+        })
+    };
+    assert_eq!(run_sizes(1), run_sizes(8));
+}

@@ -57,11 +57,12 @@ proptest! {
         seed in 0u64..500,
     ) {
         let cfg = UnweightedOkConfig { gamma, ..Default::default() };
-        let (r, stats) = unweighted_ok_spanner(&g, k, cfg, seed);
+        let r = unweighted_ok_spanner(&g, k, cfg, seed);
         assert_valid_edge_ids(&g, &r.edges);
         let rep = verify_spanner(&g, &r.edges);
         prop_assert!(rep.all_edges_spanned);
         prop_assert!(rep.max_edge_stretch <= r.stretch_bound + 1e-9);
+        let stats = r.decomposition.as_ref().expect("appendix B fills its stats");
         prop_assert!(stats.sparse + stats.dense_assigned == g.n());
     }
 

@@ -169,7 +169,7 @@ fn observes_multiple_threads_at_default_settings() {
             std::thread::yield_now();
         }
     };
-    rayon::join(&rendezvous, &rendezvous);
+    rayon::join(rendezvous, rendezvous);
     assert!(
         seen.into_inner().unwrap().len() >= 2,
         "default pool must execute on at least 2 distinct threads"
@@ -240,7 +240,7 @@ fn par_sort_by_is_stable_and_matches_sequential() {
     let mut par = data.clone();
     par.par_sort_by(|a, b| a.0.cmp(&b.0));
     let mut seq = data;
-    seq.sort_by(|a, b| a.0.cmp(&b.0));
+    seq.sort_by_key(|a| a.0);
     assert_eq!(par, seq, "stable parallel sort must match std stable sort");
 }
 
