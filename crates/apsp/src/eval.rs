@@ -3,11 +3,12 @@
 
 use rayon::prelude::*;
 
-use spanner_graph::edge::INFINITY;
+use spanner_graph::edge::{Distance, INFINITY};
 use spanner_graph::shortest_paths::dijkstra;
 use spanner_graph::Graph;
 
 use crate::oracle::ApspOracle;
+use spanner_core::pipeline::DistanceOracle;
 
 /// Approximation statistics of an oracle against exact distances.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +36,41 @@ pub fn measure_approximation(
     sources: usize,
     seed: u64,
 ) -> ApproxReport {
+    measure_rows(
+        g,
+        |s| oracle.distances_from(s),
+        oracle.stretch_bound,
+        sources,
+        seed,
+    )
+}
+
+/// [`measure_approximation`] for a pipeline-built [`DistanceOracle`]
+/// (any query engine), judged against its *composed* guarantee.
+pub fn measure_distance_oracle(
+    g: &Graph,
+    oracle: &DistanceOracle,
+    sources: usize,
+    seed: u64,
+) -> ApproxReport {
+    measure_rows(
+        g,
+        |s| oracle.distances_from(s),
+        oracle.stretch_bound(),
+        sources,
+        seed,
+    )
+}
+
+/// The shared measurement loop behind both oracle surfaces: one
+/// approximate row per sampled source, compared to exact Dijkstra.
+fn measure_rows(
+    g: &Graph,
+    row: impl Fn(u32) -> Vec<Distance> + Sync,
+    guarantee: f64,
+    sources: usize,
+    seed: u64,
+) -> ApproxReport {
     use rand::prelude::*;
     let n = g.n();
     if n == 0 {
@@ -42,7 +78,7 @@ pub fn measure_approximation(
             max_ratio: 1.0,
             avg_ratio: 1.0,
             pairs: 0,
-            guarantee: oracle.stretch_bound,
+            guarantee,
         };
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -59,7 +95,7 @@ pub fn measure_approximation(
         .par_iter()
         .map(|&s| {
             let exact = dijkstra(g, s).dist;
-            let approx = oracle.distances_from(s);
+            let approx = row(s);
             let mut max = 1.0f64;
             let mut sum = 0.0;
             let mut cnt = 0usize;
@@ -91,14 +127,15 @@ pub fn measure_approximation(
         max_ratio,
         avg_ratio: if pairs == 0 { 1.0 } else { sum / pairs as f64 },
         pairs,
-        guarantee: oracle.stretch_bound,
+        guarantee,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::build_oracle;
+    use crate::oracle::{apsp_request, build_oracle};
+    use spanner_core::pipeline::QueryEngine;
     use spanner_graph::generators::{self, WeightModel};
 
     #[test]
@@ -112,6 +149,25 @@ mod tests {
         assert!(
             rep.max_ratio <= rep.guarantee + 1e-9,
             "measured {} vs guarantee {}",
+            rep.max_ratio,
+            rep.guarantee
+        );
+    }
+
+    #[test]
+    fn sketch_oracle_measures_within_composed_guarantee() {
+        let g = generators::connected_erdos_renyi(120, 0.08, WeightModel::Uniform(1, 16), 9);
+        let oracle = apsp_request(&g)
+            .engine(QueryEngine::Sketches { levels: 2 })
+            .seed(5)
+            .build()
+            .unwrap();
+        let rep = measure_distance_oracle(&g, &oracle, 20, 11);
+        assert!(rep.pairs > 0);
+        assert!(rep.avg_ratio >= 1.0 - 1e-9);
+        assert!(
+            rep.max_ratio <= rep.guarantee + 1e-9,
+            "measured {} vs composed guarantee {}",
             rep.max_ratio,
             rep.guarantee
         );

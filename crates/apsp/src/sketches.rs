@@ -1,237 +1,22 @@
 //! Thorup–Zwick-style **distance sketches** on top of spanners — the
-//! \[DN19] application the paper highlights in §1.2: spanners let MPC
-//! preprocess distance sketches without blowing up memory, because the
-//! preprocessing runs on the `Õ(n)`-edge spanner instead of the
-//! `m`-edge graph.
+//! \[DN19] application the paper highlights in §1.2.
 //!
-//! The sketch is the classic Thorup–Zwick construction with `λ` levels:
-//! sample nested landmark sets `V = A₀ ⊇ A₁ ⊇ … ⊇ A_{λ−1}` (each level
-//! keeps a vertex with probability `n^{-1/λ}`); each vertex stores, per
-//! level, its nearest level-`i` landmark (`pᵢ(v)`, the *pivot*) and its
-//! *bunch* (level-`i` vertices strictly closer than `p_{i+1}(v)`).
-//! A query `(u, v)` walks the levels, returning
-//! `d(u, pᵢ(u)) + d(pᵢ(u), v)` for the first level whose pivot lands in
-//! the other endpoint's bunch — a `2λ−1`-approximation of the distance
-//! *of the preprocessed graph*.
-//!
-//! Built on a `σ`-stretch spanner, the end-to-end guarantee is
-//! `σ·(2λ−1)`; the preprocessing touches only `O(n^{1+1/k}·polylog)`
-//! edges. [`SketchReport`] quantifies the memory/accuracy trade against
-//! preprocessing on the full graph.
+//! The construction itself lives in the pipeline's distance stage
+//! ([`spanner_core::pipeline::distance`], re-exported here), where it
+//! serves [`spanner_core::pipeline::QueryEngine::Sketches`] oracles;
+//! this module keeps the legacy measurement surface:
+//! [`evaluate_sketches`] is a pinned shim that preprocesses through the
+//! same [`DistanceSketches`] code path and reports preprocessing size
+//! vs query accuracy, now with an explicit [`SketchReport::failed_queries`]
+//! dropout counter (which the per-component landmark guarantee keeps at
+//! zero for connected pairs).
 
-use std::collections::HashMap;
+pub use spanner_core::pipeline::distance::{DistanceSketches, VertexSketch};
 
-use rayon::prelude::*;
-
-use spanner_graph::edge::{Distance, INFINITY};
+use spanner_core::pipeline::DistanceOracle;
+use spanner_graph::edge::INFINITY;
 use spanner_graph::shortest_paths::dijkstra;
 use spanner_graph::Graph;
-
-/// A per-vertex Thorup–Zwick sketch.
-#[derive(Debug, Clone)]
-pub struct VertexSketch {
-    /// `pivots[i] = (pᵢ(v), d(v, pᵢ(v)))` — the nearest level-`i`
-    /// landmark (level 0 is `v` itself at distance 0).
-    pub pivots: Vec<(u32, Distance)>,
-    /// The bunch: landmark → exact distance (on the preprocessed graph).
-    pub bunch: HashMap<u32, Distance>,
-}
-
-/// Distance sketches for every vertex, supporting constant-time-ish
-/// approximate queries.
-#[derive(Debug)]
-pub struct DistanceSketches {
-    /// Number of levels `λ`.
-    pub levels: u32,
-    /// Per-vertex sketches.
-    pub sketches: Vec<VertexSketch>,
-    /// The multiplicative guarantee of the sketch itself (`2λ−1`),
-    /// *relative to the preprocessed graph*.
-    pub sketch_stretch: f64,
-    /// Stretch of the preprocessing substrate relative to the original
-    /// graph (1.0 when preprocessing ran on the graph itself).
-    pub substrate_stretch: f64,
-}
-
-impl DistanceSketches {
-    /// Builds `λ`-level sketches by preprocessing `g` directly.
-    ///
-    /// # Panics
-    /// Panics if `levels == 0`.
-    pub fn preprocess(g: &Graph, levels: u32, seed: u64) -> Self {
-        Self::preprocess_with_substrate(g, levels, seed, 1.0)
-    }
-
-    /// Builds sketches on a substrate graph (e.g. a spanner of the real
-    /// graph) whose stretch relative to the original is
-    /// `substrate_stretch`; queries then carry the combined guarantee.
-    pub fn preprocess_with_substrate(
-        g: &Graph,
-        levels: u32,
-        seed: u64,
-        substrate_stretch: f64,
-    ) -> Self {
-        assert!(levels >= 1, "need at least one level");
-        let n = g.n();
-        let lam = levels as usize;
-
-        // Nested landmark sets A_0 ⊇ A_1 ⊇ … (A_0 = V).
-        let q = (n.max(2) as f64).powf(-1.0 / lam as f64);
-        let mut level_of: Vec<u32> = vec![0; n];
-        for (v, slot) in level_of.iter_mut().enumerate() {
-            let mut lvl = 0u32;
-            let mut h = spanner_core::coins::splitmix64(seed ^ 0x5e7c4 ^ v as u64);
-            while lvl + 1 < levels {
-                h = spanner_core::coins::splitmix64(h);
-                if ((h >> 11) as f64 / (1u64 << 53) as f64) < q {
-                    lvl += 1;
-                } else {
-                    break;
-                }
-            }
-            *slot = lvl;
-        }
-        // Guarantee at least one top-level landmark so pivots always
-        // exist within each connected component's reach (fall back to
-        // vertex 0's component top landmark).
-        if n > 0 && !level_of.iter().any(|&l| l == levels - 1) {
-            level_of[0] = levels - 1;
-        }
-
-        // Per level i ≥ 1: multi-source Dijkstra from A_i gives every
-        // vertex its pivot p_i(v). (Implemented as Dijkstra on an
-        // augmented graph with a virtual source — here simply repeated
-        // relaxation from all sources, via a single Dijkstra per level
-        // on a super-source.) For the verification sizes used here we
-        // run one Dijkstra per landmark and take minima — simple and
-        // exact, parallelised.
-        let mut pivots: Vec<Vec<(u32, Distance)>> = vec![vec![(u32::MAX, INFINITY); lam]; n];
-        for (v, row) in pivots.iter_mut().enumerate() {
-            row[0] = (v as u32, 0);
-        }
-        for i in 1..lam {
-            let landmarks: Vec<u32> = (0..n as u32)
-                .filter(|&v| level_of[v as usize] >= i as u32)
-                .collect();
-            let rows: Vec<(u32, Vec<Distance>)> = landmarks
-                .par_iter()
-                .map(|&a| (a, dijkstra(g, a).dist))
-                .collect();
-            for (v, row) in pivots.iter_mut().enumerate() {
-                let mut best = (u32::MAX, INFINITY);
-                for (a, dist) in &rows {
-                    let d = dist[v];
-                    if (d, *a) < (best.1, best.0) {
-                        best = (*a, d);
-                    }
-                }
-                row[i] = best;
-            }
-        }
-
-        // Bunches: B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(v,w) < d(v, p_{i+1}(v)) }.
-        // Computed from the landmark rows (exact distances).
-        let mut all_rows: HashMap<u32, Vec<Distance>> = HashMap::new();
-        for row in &pivots {
-            for &(p, _) in row.iter().skip(1) {
-                if p != u32::MAX {
-                    all_rows.entry(p).or_insert_with(|| dijkstra(g, p).dist);
-                }
-            }
-        }
-        // Distances from every landmark of every level (level-0 bunches
-        // use per-vertex truncated exploration; to stay exact we include
-        // a vertex w in B(v) by checking d(v,w) via w's row when w is a
-        // landmark, and via v's own Dijkstra for level-0 w's — for the
-        // library this is the straightforward exact construction).
-        let vertex_rows: Vec<Vec<Distance>> = (0..n as u32)
-            .collect::<Vec<_>>()
-            .par_iter()
-            .map(|&v| dijkstra(g, v).dist)
-            .collect();
-
-        let sketches: Vec<VertexSketch> = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                let mut bunch = HashMap::new();
-                for w in 0..n {
-                    let i = level_of[w] as usize;
-                    let d = vertex_rows[v][w];
-                    if d == INFINITY {
-                        continue;
-                    }
-                    // w ∈ A_i \ A_{i+1}: include iff strictly closer
-                    // than the next-level pivot (or no next level).
-                    let nxt = if i + 1 < lam {
-                        pivots[v][i + 1].1
-                    } else {
-                        INFINITY
-                    };
-                    if d < nxt {
-                        bunch.insert(w as u32, d);
-                    }
-                }
-                VertexSketch {
-                    pivots: pivots[v].clone(),
-                    bunch,
-                }
-            })
-            .collect();
-
-        DistanceSketches {
-            levels,
-            sketches,
-            sketch_stretch: (2 * levels - 1) as f64,
-            substrate_stretch,
-        }
-    }
-
-    /// The combined end-to-end guarantee relative to the original graph.
-    pub fn stretch_bound(&self) -> f64 {
-        self.sketch_stretch * self.substrate_stretch
-    }
-
-    /// Approximate distance query — the Thorup–Zwick level walk.
-    /// Returns [`INFINITY`] when `u` and `v` are in different
-    /// components.
-    pub fn query(&self, u: u32, v: u32) -> Distance {
-        if u == v {
-            return 0;
-        }
-        let (mut a, mut b) = (u, v);
-        let mut w = a; // current pivot, starts as u itself (level 0)
-        let mut d_aw: Distance = 0;
-        for i in 0..self.levels as usize {
-            if let Some(&d_bw) = self.sketches[b as usize].bunch.get(&w) {
-                return d_aw.saturating_add(d_bw);
-            }
-            let next = i + 1;
-            if next >= self.levels as usize {
-                break;
-            }
-            // Swap roles and climb a level.
-            std::mem::swap(&mut a, &mut b);
-            let (p, d) = self.sketches[a as usize].pivots[next];
-            if p == u32::MAX || d == INFINITY {
-                break;
-            }
-            w = p;
-            d_aw = d;
-        }
-        INFINITY
-    }
-
-    /// Total sketch entries (the memory the sketches occupy) — the
-    /// quantity \[DN19]'s spanner preprocessing keeps near-linear.
-    pub fn total_entries(&self) -> usize {
-        self.sketches
-            .iter()
-            .map(|s| s.bunch.len() + s.pivots.len())
-            .collect::<Vec<_>>()
-            .iter()
-            .sum()
-    }
-}
 
 /// Comparison of sketch preprocessing on the full graph vs on a spanner
 /// (the §1.2 / \[DN19] trade: preprocessing memory vs query accuracy).
@@ -247,11 +32,18 @@ pub struct SketchReport {
     pub avg_ratio: f64,
     /// The end-to-end guarantee.
     pub guarantee: f64,
+    /// Connected sampled pairs whose estimate came back [`INFINITY`]
+    /// (excluded from the ratios). The per-component top-level-landmark
+    /// guarantee makes this 0; a non-zero count means dropped queries
+    /// were silently inflating the quality numbers.
+    pub failed_queries: usize,
 }
 
 /// Builds sketches on `substrate` (a subgraph of `g` with the given
 /// stretch) and measures query quality against exact distances on `g`,
-/// over `sources` random sources.
+/// over `sources` random sources. Pinned shim over
+/// [`DistanceSketches::preprocess_with_substrate`] — the same
+/// preprocessing the pipeline's sketch oracles run.
 pub fn evaluate_sketches(
     g: &Graph,
     substrate: &Graph,
@@ -262,20 +54,70 @@ pub fn evaluate_sketches(
 ) -> SketchReport {
     let sk =
         DistanceSketches::preprocess_with_substrate(substrate, levels, seed, substrate_stretch);
+    measure_queries(
+        g,
+        |u, v| sk.query(u, v),
+        substrate.m(),
+        sk.total_entries(),
+        sk.stretch_bound(),
+        sources,
+        seed,
+    )
+}
+
+/// Measures a pipeline-built [`DistanceOracle`] (typically one serving
+/// through [`spanner_core::pipeline::QueryEngine::Sketches`]) with the
+/// same sampling as [`evaluate_sketches`], so experiment tables stay
+/// comparable across the legacy and pipeline entry points.
+pub fn evaluate_sketch_oracle(
+    g: &Graph,
+    oracle: &DistanceOracle,
+    sources: usize,
+    seed: u64,
+) -> SketchReport {
+    let entries = oracle
+        .sketches()
+        .map(DistanceSketches::total_entries)
+        .unwrap_or(0);
+    measure_queries(
+        g,
+        |u, v| oracle.query(u, v),
+        oracle.size(),
+        entries,
+        oracle.stretch_bound(),
+        sources,
+        seed,
+    )
+}
+
+/// The shared measurement loop: samples `sources` random sources and
+/// compares `query` against exact Dijkstra over all their connected
+/// targets, counting (instead of silently skipping) failed estimates.
+fn measure_queries(
+    g: &Graph,
+    query: impl Fn(u32, u32) -> spanner_graph::edge::Distance,
+    preprocessing_edges: usize,
+    sketch_entries: usize,
+    guarantee: f64,
+    sources: usize,
+    seed: u64,
+) -> SketchReport {
     use rand::prelude::*;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
     let n = g.n() as u32;
     let mut max_ratio: f64 = 1.0;
     let mut sum = 0.0;
     let mut cnt = 0usize;
+    let mut failed = 0usize;
     for _ in 0..sources.min(n as usize) {
         let s = rng.gen_range(0..n);
         let exact = dijkstra(g, s).dist;
         for v in 0..n {
             if v != s && exact[v as usize] != INFINITY && exact[v as usize] > 0 {
-                let est = sk.query(s, v);
+                let est = query(s, v);
                 if est == INFINITY {
-                    continue; // level walk exhausted; rare, skipped in stats
+                    failed += 1;
+                    continue;
                 }
                 let r = est as f64 / exact[v as usize] as f64;
                 max_ratio = max_ratio.max(r);
@@ -285,58 +127,23 @@ pub fn evaluate_sketches(
         }
     }
     SketchReport {
-        preprocessing_edges: substrate.m(),
-        sketch_entries: sk.total_entries(),
+        preprocessing_edges,
+        sketch_entries,
         max_ratio,
         avg_ratio: if cnt == 0 { 1.0 } else { sum / cnt as f64 },
-        guarantee: sk.stretch_bound(),
+        guarantee,
+        failed_queries: failed,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spanner_core::pipeline::{Algorithm, DistanceRequest, QueryEngine};
     use spanner_graph::generators::{self, WeightModel};
 
     fn graph() -> Graph {
         generators::connected_erdos_renyi(100, 0.08, WeightModel::Uniform(1, 16), 3)
-    }
-
-    #[test]
-    fn single_level_is_exact_everywhere() {
-        // λ = 1: every vertex's bunch is the whole component (no next
-        // pivot to cut it off) ⇒ queries are exact.
-        let g = graph();
-        let sk = DistanceSketches::preprocess(&g, 1, 5);
-        let exact = dijkstra(&g, 0).dist;
-        for v in 0..g.n() as u32 {
-            assert_eq!(sk.query(0, v), exact[v as usize], "v={v}");
-        }
-    }
-
-    #[test]
-    fn queries_respect_2k_minus_1() {
-        let g = graph();
-        for levels in [2u32, 3] {
-            let sk = DistanceSketches::preprocess(&g, levels, 7);
-            let bound = (2 * levels - 1) as f64;
-            for s in [0u32, 17, 55] {
-                let exact = dijkstra(&g, s).dist;
-                for v in 0..g.n() as u32 {
-                    if v == s || exact[v as usize] == INFINITY {
-                        continue;
-                    }
-                    let est = sk.query(s, v);
-                    assert!(est != INFINITY, "query must succeed within a component");
-                    assert!(est >= exact[v as usize], "never underestimate");
-                    assert!(
-                        est as f64 <= bound * exact[v as usize] as f64 + 1e-9,
-                        "λ={levels}, ({s},{v}): {est} > {bound}·{}",
-                        exact[v as usize]
-                    );
-                }
-            }
-        }
     }
 
     #[test]
@@ -350,17 +157,6 @@ mod tests {
     }
 
     #[test]
-    fn more_levels_means_smaller_bunches() {
-        let g = generators::connected_erdos_renyi(150, 0.1, WeightModel::Unit, 11);
-        let s1 = DistanceSketches::preprocess(&g, 1, 3).total_entries();
-        let s3 = DistanceSketches::preprocess(&g, 3, 3).total_entries();
-        assert!(
-            s3 < s1,
-            "λ=3 bunches ({s3}) must be smaller than λ=1 full tables ({s1})"
-        );
-    }
-
-    #[test]
     fn spanner_substrate_composes_guarantees() {
         use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
         let g = graph();
@@ -369,6 +165,7 @@ mod tests {
         let rep = evaluate_sketches(&g, &sub, sp.stretch_bound, 2, 10, 5);
         assert!(rep.preprocessing_edges < g.m());
         assert!(rep.avg_ratio >= 1.0 - 1e-9);
+        assert_eq!(rep.failed_queries, 0, "no dropped connected pairs");
         assert!(
             rep.max_ratio <= rep.guarantee + 1e-9,
             "measured {} vs composed guarantee {}",
@@ -389,5 +186,63 @@ mod tests {
         let sk = DistanceSketches::preprocess(&g, 2, 1);
         assert_eq!(sk.query(0, 1), 1);
         assert_eq!(sk.query(0, 2), INFINITY);
+    }
+
+    #[test]
+    fn second_component_no_longer_drops_queries() {
+        // Regression: a component without a top-level landmark used to
+        // drop *connected* queries (the old fallback only patched vertex
+        // 0's component). Two components, many seeds: every connected
+        // pair must answer finitely and the report must count 0 dropouts.
+        let mut edges = Vec::new();
+        for v in 0..25u32 {
+            edges.push(spanner_graph::edge::Edge::new(v, (v + 1) % 26, 1));
+        }
+        for v in 26..33u32 {
+            edges.push(spanner_graph::edge::Edge::new(v, v + 1, 3));
+        }
+        let g = Graph::from_edges(34, edges);
+        for seed in 0..25u64 {
+            let sk = DistanceSketches::preprocess(&g, 2, seed);
+            for u in 26..=33u32 {
+                for v in 26..=33u32 {
+                    assert!(
+                        sk.query(u, v) != INFINITY,
+                        "seed {seed}: connected pair ({u},{v}) dropped"
+                    );
+                }
+            }
+            let rep = evaluate_sketches(&g, &g, 1.0, 2, g.n(), seed);
+            assert_eq!(rep.failed_queries, 0, "seed {seed}: dropouts in report");
+        }
+    }
+
+    #[test]
+    fn oracle_and_legacy_evaluations_agree() {
+        // The pipeline's sketch oracle and the legacy evaluate_sketches
+        // run the same preprocessing on the same spanner with the same
+        // seed: the reports must be identical, bit for bit.
+        use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+        let g = graph();
+        let params = TradeoffParams::new(4, 2);
+        let seed = 0xE11;
+        let sp = general_spanner(&g, params, seed, BuildOptions::default());
+        let sub = g.edge_subgraph(&sp.edges);
+        let legacy = evaluate_sketches(&g, &sub, sp.stretch_bound, 2, 10, seed);
+
+        let oracle = DistanceRequest::new(&g, Algorithm::General(params))
+            .engine(QueryEngine::Sketches { levels: 2 })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let via_oracle = evaluate_sketch_oracle(&g, &oracle, 10, seed);
+
+        assert_eq!(legacy.preprocessing_edges, via_oracle.preprocessing_edges);
+        assert_eq!(legacy.sketch_entries, via_oracle.sketch_entries);
+        assert_eq!(legacy.max_ratio, via_oracle.max_ratio);
+        assert_eq!(legacy.avg_ratio, via_oracle.avg_ratio);
+        assert_eq!(legacy.guarantee, via_oracle.guarantee);
+        assert_eq!(legacy.failed_queries, 0);
+        assert_eq!(via_oracle.failed_queries, 0);
     }
 }

@@ -1,8 +1,10 @@
 //! Criterion timing of the APSP application (experiment E6's wall-clock
-//! side): oracle construction, queries, and the verification Dijkstra.
+//! side): oracle construction, queries, the verification Dijkstra, and
+//! the serving layer's query throughput per substrate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spanner_apsp::build_oracle;
+use spanner_apsp::{apsp_request, build_oracle};
+use spanner_core::pipeline::QueryEngine;
 use spanner_graph::generators::{Family, WeightModel};
 use spanner_graph::shortest_paths::dijkstra;
 
@@ -33,9 +35,40 @@ fn bench_query(c: &mut Criterion) {
     });
 }
 
+/// Point-query throughput of the serving layer, per query substrate:
+/// Dijkstra-on-spanner (one traversal per distinct source in the batch)
+/// vs Thorup–Zwick sketches (O(λ) per query after preprocessing).
+fn bench_distance_queries(c: &mut Criterion) {
+    let g = Family::ErdosRenyi {
+        n: 2048,
+        avg_deg: 12.0,
+    }
+    .generate(WeightModel::PowersOfTwo(8), 0xA0);
+    let n = g.n() as u32;
+    let queries: Vec<(u32, u32)> = (0..512u32)
+        .map(|i| ((i * 13) % 61, (i * 37 + 11) % n))
+        .collect();
+    let mut group = c.benchmark_group("distance_queries");
+    for (label, engine) in [
+        ("dijkstra", QueryEngine::Dijkstra),
+        ("sketches_l2", QueryEngine::Sketches { levels: 2 }),
+        ("sketches_l3", QueryEngine::Sketches { levels: 3 }),
+    ] {
+        let oracle = apsp_request(&g)
+            .engine(engine)
+            .seed(1)
+            .build()
+            .expect("build");
+        group.bench_function(BenchmarkId::new("batch512", label), |b| {
+            b.iter(|| oracle.query_batch(&queries))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_oracle_build, bench_query
+    targets = bench_oracle_build, bench_query, bench_distance_queries
 );
 criterion_main!(benches);

@@ -5,13 +5,17 @@
 //! distance sketches without extra memory: the preprocessing touches
 //! `Õ(n)` spanner edges instead of `m`. This experiment builds
 //! Thorup–Zwick sketches (λ levels, `2λ−1` stretch) on (a) the graph
-//! and (b) a Section 5 spanner, and measures preprocessing size vs
-//! query accuracy.
+//! and (b) a Section 5 spanner — the latter through the pipeline's
+//! distance stage (`DistanceRequest` + `QueryEngine::Sketches`) — and
+//! measures preprocessing size vs query accuracy, including the dropped
+//! -query counter (0 by construction since every component owns a
+//! top-level landmark).
 
-use spanner_apsp::evaluate_sketches;
+use spanner_apsp::{evaluate_sketch_oracle, evaluate_sketches};
 use spanner_bench::table::{f2, Table};
 use spanner_bench::workloads;
-use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
+use spanner_core::pipeline::{Algorithm, DistanceRequest, QueryEngine};
+use spanner_core::TradeoffParams;
 
 fn main() {
     println!("# E11 — distance sketches on spanners (the [DN19] application)\n");
@@ -25,6 +29,7 @@ fn main() {
         "sketch entries",
         "avg ratio",
         "max ratio",
+        "failed",
         "guarantee",
     ]);
     for lambda in [2u32, 3] {
@@ -37,26 +42,32 @@ fn main() {
             full.sketch_entries.to_string(),
             f2(full.avg_ratio),
             f2(full.max_ratio),
+            full.failed_queries.to_string(),
             f2(full.guarantee),
         ]);
-        // (b) preprocess on a k=4 spanner.
-        let sp = general_spanner(
-            &g,
-            TradeoffParams::new(4, 2),
-            0xE11,
-            BuildOptions::default(),
-        );
-        let sub = g.edge_subgraph(&sp.edges);
-        let rep = evaluate_sketches(&g, &sub, sp.stretch_bound, lambda, 12, 0xE11);
+        // (b) preprocess on a k=4 spanner, served through the pipeline's
+        // distance stage.
+        let oracle = DistanceRequest::new(&g, Algorithm::General(TradeoffParams::new(4, 2)))
+            .engine(QueryEngine::Sketches { levels: lambda })
+            .seed(0xE11)
+            .build()
+            .expect("sequential build");
+        let rep = evaluate_sketch_oracle(&g, &oracle, 12, 0xE11);
         t.row(vec![
-            format!("spanner k=4 ({} edges)", sp.size()),
+            format!("spanner k=4 ({} edges)", oracle.size()),
             lambda.to_string(),
             rep.preprocessing_edges.to_string(),
             rep.sketch_entries.to_string(),
             f2(rep.avg_ratio),
             f2(rep.max_ratio),
+            rep.failed_queries.to_string(),
             f2(rep.guarantee),
         ]);
+        assert_eq!(
+            full.failed_queries + rep.failed_queries,
+            0,
+            "connected pairs must never drop"
+        );
     }
     t.print();
     println!("\n(spanner substrate: fewer preprocessing edges, composed guarantee σ·(2λ−1))");

@@ -34,6 +34,15 @@
 //!   inline verification outcome;
 //! * [`Batch`] — many requests executed concurrently through the rayon
 //!   pool, each failing independently: the serving-shaped workload.
+//!   Per-request deadlines ([`SpannerRequest::deadline`]) and a shared
+//!   [`CancelToken`] ([`Batch::run_with`]) bound tail latency;
+//! * [`distance`] — the Section 7 / §1.2 serving stage: a
+//!   [`DistanceRequest`] composes any spanner request with a
+//!   [`QueryEngine`] (exact Dijkstra or Thorup–Zwick sketches) into a
+//!   [`DistanceOracle`] answering distance queries under the composed
+//!   `σ·(2λ−1)` guarantee, with batched queries, build deduplication
+//!   ([`OracleCache`], [`DistanceBatch`]) and the MPC "+1 gather"
+//!   charged faithfully.
 //!
 //! The legacy free functions (`general_spanner`, `cc_spanner`,
 //! `pram_general_spanner`, `streaming_spanner`, …) survive as thin
@@ -61,6 +70,8 @@
 //! equivalent engine schedule.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -74,9 +85,14 @@ use crate::result::SpannerResult;
 use crate::unweighted_ok::UnweightedOkConfig;
 
 pub mod clique;
+pub mod distance;
 pub mod pram_cost;
 
 pub use clique::CcNetwork;
+pub use distance::{
+    DistanceBatch, DistanceBuildStats, DistanceOracle, DistancePlan, DistanceRequest,
+    DistanceSketches, OracleCache, OracleKey, QueryEngine, VertexSketch,
+};
 pub use pram_cost::{log_star, PramTracker};
 
 // The request vocabulary in one import: algorithms are parameterised by
@@ -389,6 +405,20 @@ pub enum PipelineError {
         /// The recorded outcome.
         outcome: VerificationOutcome,
     },
+    /// The request's [`CancelToken`] fired before the request started
+    /// (cancellation is cooperative: in-flight executions run to
+    /// completion, queued ones fail with this error).
+    Cancelled,
+    /// The request carried a [`SpannerRequest::deadline`] and execution
+    /// outlived it.
+    DeadlineExceeded {
+        /// Label of the algorithm that ran.
+        algorithm: String,
+        /// The per-request deadline.
+        deadline: Duration,
+        /// How long execution actually took.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -406,6 +436,15 @@ impl fmt::Display for PipelineError {
                 "{algorithm}: verification failed (spanned={}, stretch {} > bound {})",
                 outcome.all_edges_spanned, outcome.max_edge_stretch, outcome.stretch_bound
             ),
+            PipelineError::Cancelled => write!(f, "request cancelled before execution"),
+            PipelineError::DeadlineExceeded {
+                algorithm,
+                deadline,
+                elapsed,
+            } => write!(
+                f,
+                "{algorithm}: deadline exceeded ({elapsed:?} > {deadline:?})"
+            ),
         }
     }
 }
@@ -415,6 +454,34 @@ impl std::error::Error for PipelineError {}
 impl From<MpcError> for PipelineError {
     fn from(e: MpcError) -> Self {
         PipelineError::Mpc(e)
+    }
+}
+
+/// A shared, cloneable cancellation flag for batched serving.
+/// Cancellation is *cooperative*: requests check the token when they are
+/// about to start (see [`Batch::run_with`] /
+/// [`distance::DistanceBatch::build_with`]); an execution already in
+/// flight runs to completion.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token: every request observing it afterwards fails with
+    /// [`PipelineError::Cancelled`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
     }
 }
 
@@ -672,6 +739,7 @@ pub struct SpannerRequest<'g> {
     seed: u64,
     verification: Verification,
     track_radii: bool,
+    deadline: Option<Duration>,
 }
 
 impl<'g> SpannerRequest<'g> {
@@ -685,6 +753,7 @@ impl<'g> SpannerRequest<'g> {
             seed: 0,
             verification: Verification::Skip,
             track_radii: false,
+            deadline: None,
         }
     }
 
@@ -714,6 +783,16 @@ impl<'g> SpannerRequest<'g> {
         self
     }
 
+    /// Per-request deadline for the serving story: if execution outlives
+    /// it, [`SpannerRequest::run`] returns
+    /// [`PipelineError::DeadlineExceeded`] instead of a report. The
+    /// check is cooperative (applied when execution finishes) — a
+    /// blocking backend cannot be pre-empted mid-run.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The host graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
@@ -727,6 +806,16 @@ impl<'g> SpannerRequest<'g> {
     /// The requested backend.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The shared-randomness seed the request will run with.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured per-request deadline, if any.
+    pub fn deadline_limit(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// Validates the request and computes the predicted schedule and
@@ -843,6 +932,15 @@ impl<'g> SpannerRequest<'g> {
         let started = Instant::now();
         let (result, stats) = self.execute(&plan)?;
         let elapsed = started.elapsed();
+        if let Some(deadline) = self.deadline {
+            if elapsed > deadline {
+                return Err(PipelineError::DeadlineExceeded {
+                    algorithm: result.algorithm,
+                    deadline,
+                    elapsed,
+                });
+            }
+        }
 
         let verification = match self.verification {
             Verification::Skip => None,
@@ -1062,7 +1160,25 @@ impl<'g> Batch<'g> {
     /// are in submission order; a failed request occupies its slot as
     /// `Err` without disturbing the others.
     pub fn run(&self) -> Vec<Result<RunReport, PipelineError>> {
-        self.requests.par_iter().map(SpannerRequest::run).collect()
+        self.run_with(&CancelToken::new())
+    }
+
+    /// [`Self::run`] under a cancellation token: requests that have not
+    /// started when the token fires fail with
+    /// [`PipelineError::Cancelled`] (in-flight requests finish — see
+    /// [`CancelToken`]). Per-request deadlines set via
+    /// [`SpannerRequest::deadline`] are honoured either way.
+    pub fn run_with(&self, cancel: &CancelToken) -> Vec<Result<RunReport, PipelineError>> {
+        self.requests
+            .par_iter()
+            .map(|request| {
+                if cancel.is_cancelled() {
+                    Err(PipelineError::Cancelled)
+                } else {
+                    request.run()
+                }
+            })
+            .collect()
     }
 }
 

@@ -25,6 +25,9 @@ pub struct Graph {
     offsets: Vec<usize>,
     /// CSR adjacency: `(neighbour, weight, edge id)`.
     adj: Vec<(u32, Weight, EdgeId)>,
+    /// Lazily-computed [`Graph::fingerprint`] (graphs are immutable
+    /// after construction, so the hash is computed at most once).
+    fp: std::sync::OnceLock<u64>,
 }
 
 impl Graph {
@@ -117,6 +120,33 @@ impl Graph {
     pub fn total_weight(&self) -> u128 {
         crate::edge::total_weight(&self.edges)
     }
+
+    /// A structural fingerprint of the graph: a 64-bit hash of `n` and
+    /// the canonical edge list. Equal graphs (same vertex count and
+    /// deduplicated, sorted edges) always share a fingerprint;
+    /// distinct graphs collide with probability `≈ 2⁻⁶⁴` per pair —
+    /// acceptable for its use as a cache key for derived artefacts such
+    /// as distance oracles, but it is a hash, not a proof of identity.
+    /// The O(m) hash is computed on first call and memoised (graphs are
+    /// immutable once built), so cache lookups keyed on it stay O(1).
+    pub fn fingerprint(&self) -> u64 {
+        *self.fp.get_or_init(|| {
+            fn mix(mut z: u64) -> u64 {
+                // splitmix64 finaliser: cheap, well-distributed,
+                // dependency-free.
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+            let mut h = mix(self.n as u64 ^ 0x6772_6170_685f_6670); // "graph_fp"
+            for e in &self.edges {
+                h = mix(h ^ ((e.u as u64) << 32 | e.v as u64));
+                h = mix(h ^ e.w);
+            }
+            h
+        })
+    }
 }
 
 /// Incremental builder for [`Graph`].
@@ -199,6 +229,7 @@ impl GraphBuilder {
             edges,
             offsets,
             adj,
+            fp: std::sync::OnceLock::new(),
         }
     }
 }

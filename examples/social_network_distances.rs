@@ -2,21 +2,23 @@
 //! graph — the skewed-degree, web-scale workload that motivates the MPC
 //! literature (paper §1.1).
 //!
-//! A power-law (Chung–Lu) graph stands in for the social network. The
-//! pipeline runs the Corollary 1.2(4) APSP regime (`k = ⌈log n⌉`,
-//! `t = ⌈log log n⌉` — an `O(n log log n)`-edge spanner in
-//! `poly(log log n)` rounds), the spanner becomes a distance oracle on
-//! one machine, and the answers are checked against exact Dijkstra.
+//! A power-law (Chung–Lu) graph stands in for the social network. One
+//! `DistanceRequest` runs the Corollary 1.2(4) APSP regime
+//! (`k = ⌈log n⌉`, `t = ⌈log log n⌉` — an `O(n log log n)`-edge spanner
+//! in `poly(log log n)` rounds) and serves distance queries two ways:
+//! exact Dijkstra on the spanner (the Section 7 oracle) and Thorup–Zwick
+//! sketches (§1.2 / [DN19]) at an extra `2λ−1` stretch, with batched
+//! queries fanning out on the rayon pool.
 //!
 //! ```sh
 //! cargo run --release --example social_network_distances
 //! ```
 
-use mpc_spanners::apsp::{measure_approximation, ApspOracle};
+use mpc_spanners::apsp::measure_distance_oracle;
 use mpc_spanners::graph::generators::chung_lu_power_law;
 use mpc_spanners::graph::generators::WeightModel;
 use mpc_spanners::graph::shortest_paths::dijkstra;
-use mpc_spanners::pipeline::{Algorithm, CorollarySetting, SpannerRequest};
+use mpc_spanners::pipeline::{Algorithm, CorollarySetting, DistanceRequest, QueryEngine};
 
 fn main() {
     // "Interaction strength" weights: small = strong tie.
@@ -29,29 +31,23 @@ fn main() {
     );
 
     // Corollary 1.2(4): the APSP regime derives k and t from n.
-    let report = SpannerRequest::new(
+    let request = DistanceRequest::new(
         &g,
         Algorithm::Corollary {
             setting: CorollarySetting::ApspRegime,
             k: 0, // ignored: ApspRegime derives k = ⌈log n⌉
         },
     )
-    .seed(7)
-    .run()
-    .expect("sequential execution is infallible");
-    let oracle = ApspOracle::from_parts(
-        &g,
-        report.result.edges.clone(),
-        report.result.stretch_bound,
-        report.result.iterations,
-    );
+    .seed(7);
+    let oracle = request.clone().build().expect("sequential build");
+    let stats = oracle.stats();
     println!(
         "oracle [{}]: {} spanner edges ({:.1}% of m), {} grow iterations, guarantee {:.1}x",
-        report.result.algorithm,
+        stats.algorithm,
         oracle.size(),
         100.0 * oracle.size() as f64 / g.m() as f64,
-        oracle.iterations,
-        oracle.stretch_bound
+        stats.iterations,
+        oracle.stretch_bound()
     );
 
     // Spot-check a few "degrees of separation" queries.
@@ -67,10 +63,39 @@ fn main() {
     }
 
     // Aggregate quality over 30 random sources.
-    let rep = measure_approximation(&g, &oracle, 30, 1);
+    let rep = measure_distance_oracle(&g, &oracle, 30, 1);
     println!(
         "\nover {} pairs: avg ratio {:.3}, max ratio {:.2} (guarantee {:.1})",
         rep.pairs, rep.avg_ratio, rep.max_ratio, rep.guarantee
     );
     assert!(rep.max_ratio <= rep.guarantee);
+
+    // The serving path: the same request with Thorup–Zwick sketches
+    // answers a query burst in O(λ) per query instead of a Dijkstra.
+    let sketch_oracle = request
+        .engine(QueryEngine::Sketches { levels: 2 })
+        .build()
+        .expect("sketch build");
+    let burst: Vec<(u32, u32)> = (0..1000u32)
+        .map(|i| (i % 97, (i * 37 + 11) % 3000))
+        .collect();
+    let answers = sketch_oracle.query_batch(&burst);
+    let sources: Vec<u32> = (0..97).collect();
+    let exact_rows = mpc_spanners::graph::shortest_paths::multi_source_distances(&g, &sources);
+    let worst = burst
+        .iter()
+        .zip(&answers)
+        .map(|(&(u, v), &est)| est as f64 / exact_rows[u as usize][v as usize].max(1) as f64)
+        .fold(1.0f64, f64::max);
+    println!(
+        "sketch burst: {} queries, {} sketch entries, worst ratio {:.2} (guarantee {:.1})",
+        burst.len(),
+        sketch_oracle
+            .sketches()
+            .expect("sketch engine")
+            .total_entries(),
+        worst,
+        sketch_oracle.stretch_bound()
+    );
+    assert!(worst <= sketch_oracle.stretch_bound());
 }

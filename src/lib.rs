@@ -10,9 +10,15 @@
 //! before running), then [`pipeline::SpannerRequest::run`] it on any
 //! [`pipeline::Backend`] (sequential, MPC, Congested Clique, PRAM,
 //! streaming) for a unified [`pipeline::RunReport`]. A
-//! [`pipeline::Batch`] serves many requests concurrently. The per-model
-//! free functions remain available as shims with their historical
-//! signatures.
+//! [`pipeline::Batch`] serves many requests concurrently, with
+//! per-request deadlines and cancellation. For the paper's headline
+//! *application* — serving approximate distance queries (Section 7 /
+//! §1.2) — compose a [`pipeline::DistanceRequest`] with a
+//! [`pipeline::QueryEngine`] (exact Dijkstra-on-spanner or Thorup–Zwick
+//! sketches) and [`pipeline::DistanceRequest::build`] a
+//! [`pipeline::DistanceOracle`] whose batched queries carry the
+//! composed `σ·(2λ−1)` guarantee. The per-model free functions remain
+//! available as shims with their historical signatures.
 //!
 //! This facade crate re-exports the public surface of the workspace:
 //!
@@ -51,6 +57,17 @@
 //! let mpc = request.clone().on(Backend::mpc()).run().unwrap();
 //! assert_eq!(mpc.result.edges, report.result.edges);
 //! assert!(mpc.stats.model_rounds().unwrap() > 0);
+//!
+//! // The serving stage: the same construction as a distance oracle
+//! // answering batched queries under the composed guarantee.
+//! use mpc_spanners::pipeline::{DistanceRequest, QueryEngine};
+//! let oracle = DistanceRequest::from_spanner_request(request)
+//!     .engine(QueryEngine::Sketches { levels: 2 })
+//!     .build()
+//!     .unwrap();
+//! let answers = oracle.query_batch(&[(0, 150), (7, 42)]);
+//! assert!(answers.iter().all(|&d| d < u64::MAX)); // connected pairs stay finite
+//! assert_eq!(oracle.stretch_bound(), oracle.substrate_stretch() * 3.0);
 //! ```
 
 pub use congested_clique as cc;
