@@ -13,7 +13,7 @@ use spanner_graph::shortest_paths::dijkstra;
 use spanner_graph::Graph;
 
 use spanner_core::pipeline::{
-    Algorithm, Backend, DistanceOracle, DistanceRequest, MpcDeployment, PipelineError,
+    Algorithm, Backend, DistanceOracle, DistanceRequest, HeapSize, MpcDeployment, PipelineError,
 };
 use spanner_core::TradeoffParams;
 
@@ -102,9 +102,25 @@ impl ApspOracle {
         self.spanner.m()
     }
 
+    /// Estimated heap bytes the hosting machine spends on the oracle
+    /// (the CSR spanner plus the edge-id map) — what a
+    /// [`spanner_core::pipeline::SpannerService`] budget would charge
+    /// for it.
+    pub fn memory_bytes(&self) -> usize {
+        self.heap_size()
+    }
+
     /// The spanner graph itself.
     pub fn spanner(&self) -> &Graph {
         &self.spanner
+    }
+}
+
+impl HeapSize for ApspOracle {
+    fn heap_size(&self) -> usize {
+        self.spanner.heap_size()
+            + self.spanner_edges.len() * std::mem::size_of::<EdgeId>()
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -251,6 +267,20 @@ mod tests {
         assert_eq!(
             run.oracle.spanner_edges, reference.spanner_edges,
             "in-model and reference pipelines must agree"
+        );
+    }
+
+    #[test]
+    fn oracle_memory_accounting_tracks_spanner_size() {
+        let g = generators::connected_erdos_renyi(200, 0.15, WeightModel::Unit, 7);
+        let sparse = build_oracle(&g, 7);
+        let whole = ApspOracle::from_parts(&g, (0..g.m() as EdgeId).collect(), 1.0, 0);
+        assert!(sparse.memory_bytes() > 0);
+        assert!(
+            whole.memory_bytes() > sparse.memory_bytes(),
+            "a whole-graph oracle must charge more than its spanner ({} vs {})",
+            whole.memory_bytes(),
+            sparse.memory_bytes()
         );
     }
 

@@ -27,7 +27,11 @@
 //! with a `plan()` step that predicts the theorem bounds before running
 //! and a `run()` that returns a unified `RunReport`; a `Batch` executes
 //! many requests concurrently. The per-model free functions in the
-//! algorithm modules survive as thin shims over the pipeline.
+//! algorithm modules survive as thin shims over the pipeline. For
+//! long-lived serving (register a graph once, answer many jobs from a
+//! budgeted artifact store under admission control), continue to
+//! [`pipeline::service`] — the one-shot request types are themselves
+//! thin shims over that layer's anonymous single-use path.
 //!
 //! Every construction exists as a *sequential reference* (it executes
 //! the exact per-iteration rules and is what the stretch/size

@@ -46,7 +46,7 @@
 //! stage.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -56,9 +56,88 @@ use spanner_graph::edge::{Distance, EdgeId, INFINITY};
 use spanner_graph::shortest_paths::dijkstra;
 use spanner_graph::Graph;
 
+use super::service::{HeapSize, LruStore, SpannerService};
 use super::{
     Algorithm, Backend, CancelToken, ExecutionStats, MpcStats, PipelineError, Plan, SpannerRequest,
 };
+
+// ---------------------------------------------------------------------
+// Cooperative build interruption
+// ---------------------------------------------------------------------
+
+/// Cooperative cancellation/deadline checkpoints for long-running
+/// builds. A guard bundles an optional [`CancelToken`] and an optional
+/// deadline (measured from the guard's creation); [`BuildGuard::check`]
+/// turns a fired token or an expired deadline into the matching typed
+/// [`PipelineError`].
+///
+/// The distance stage checks its guard *during* oracle builds — before
+/// and after the spanner construction, between Thorup–Zwick levels, and
+/// between cluster-search chunks — so a cancelled or deadline-blown
+/// build stops within one chunk of work instead of running to
+/// completion ([`DistanceRequest::build_with`],
+/// [`DistanceSketches::preprocess_guarded`]).
+#[derive(Debug, Clone)]
+pub struct BuildGuard {
+    label: String,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    started: Instant,
+}
+
+impl BuildGuard {
+    /// An unbounded guard (never interrupts) carrying the algorithm
+    /// label used in deadline errors.
+    pub fn new(label: impl Into<String>) -> Self {
+        BuildGuard {
+            label: label.into(),
+            cancel: None,
+            deadline: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deadline, measured from the guard's creation.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Time since the guard was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Errs with [`PipelineError::Cancelled`] /
+    /// [`PipelineError::DeadlineExceeded`] once the token has fired or
+    /// the deadline has passed. Both conditions are monotone, so a
+    /// check placed *after* a parallel section reliably reports any
+    /// interruption that occurred during it.
+    pub fn check(&self) -> Result<(), PipelineError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(PipelineError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > deadline {
+                return Err(PipelineError::DeadlineExceeded {
+                    algorithm: self.label.clone(),
+                    deadline,
+                    elapsed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 // ---------------------------------------------------------------------
 // Query engines
@@ -180,7 +259,35 @@ impl DistanceSketches {
         seed: u64,
         substrate_stretch: f64,
     ) -> Self {
+        Self::preprocess_guarded(
+            g,
+            levels,
+            seed,
+            substrate_stretch,
+            &BuildGuard::new("sketches"),
+        )
+        .expect("an unbounded guard never interrupts")
+    }
+
+    /// [`Self::preprocess_with_substrate`] under a [`BuildGuard`]:
+    /// the guard is checked **between Thorup–Zwick levels** (each
+    /// level's multi-source Dijkstra re-checks before starting) and
+    /// **between cluster-search chunks**, so a fired token or an
+    /// expired deadline stops the preprocessing within one chunk of
+    /// work. On the success path the output is bit-identical to the
+    /// unguarded entry point.
+    ///
+    /// # Panics
+    /// Panics if `levels == 0`.
+    pub fn preprocess_guarded(
+        g: &Graph,
+        levels: u32,
+        seed: u64,
+        substrate_stretch: f64,
+        guard: &BuildGuard,
+    ) -> Result<Self, PipelineError> {
         assert!(levels >= 1, "need at least one level");
+        guard.check()?;
         let n = g.n();
         let lam = levels as usize;
 
@@ -224,16 +331,24 @@ impl DistanceSketches {
         // member of A_i — one lexicographic multi-source Dijkstra per
         // level (parallel over levels), O(λ·n) memory total instead of a
         // dense distance row per landmark.
+        // Guard protocol: each level's task re-checks before starting
+        // (skipping its Dijkstra once interrupted); the post-collect
+        // check surfaces the typed error — cancellation and deadlines
+        // are monotone, so nothing observed inside the section is lost.
         let per_level: Vec<Vec<(u32, Distance)>> = (1..lam)
             .collect::<Vec<_>>()
             .par_iter()
             .map(|&i| {
+                if guard.check().is_err() {
+                    return Vec::new();
+                }
                 let sources: Vec<u32> = (0..n as u32)
                     .filter(|&v| level_of[v as usize] >= i as u32)
                     .collect();
                 nearest_landmark(g, &sources)
             })
             .collect();
+        guard.check()?;
         let pivots: Vec<Vec<(u32, Distance)>> = (0..n)
             .map(|v| {
                 let mut row = Vec::with_capacity(lam);
@@ -262,10 +377,21 @@ impl DistanceSketches {
                 }
             })
             .collect();
-        let clusters: Vec<Vec<(u32, Distance)>> = (0..n as u32)
-            .into_par_iter()
-            .map(|w| cluster_search(g, w, &limits[level_of[w as usize] as usize]))
-            .collect();
+        // Chunked so the guard gets a say between chunks; each chunk's
+        // order-preserving parallel collect keeps the concatenation
+        // identical to the single-pass version.
+        const CLUSTER_CHUNK: usize = 256;
+        let mut clusters: Vec<Vec<(u32, Distance)>> = Vec::with_capacity(n);
+        for chunk_start in (0..n).step_by(CLUSTER_CHUNK) {
+            guard.check()?;
+            let chunk_end = (chunk_start + CLUSTER_CHUNK).min(n);
+            clusters.extend(
+                (chunk_start as u32..chunk_end as u32)
+                    .into_par_iter()
+                    .map(|w| cluster_search(g, w, &limits[level_of[w as usize] as usize]))
+                    .collect::<Vec<_>>(),
+            );
+        }
         let mut bunches: Vec<HashMap<u32, Distance>> = vec![HashMap::new(); n];
         for (w, cluster) in clusters.into_iter().enumerate() {
             for (v, d) in cluster {
@@ -279,12 +405,12 @@ impl DistanceSketches {
             .map(|(pivots, bunch)| VertexSketch { pivots, bunch })
             .collect();
 
-        DistanceSketches {
+        Ok(DistanceSketches {
             levels,
             sketches,
             sketch_stretch: (2 * levels - 1) as f64,
             substrate_stretch,
-        }
+        })
     }
 
     /// The combined end-to-end guarantee relative to the original graph.
@@ -487,8 +613,11 @@ impl<'g> DistanceRequest<'g> {
     /// [`DistanceBatch`] deduplicate on it).
     pub fn cache_key(&self) -> OracleKey {
         OracleKey {
+            // Debug-rendered, not `label()`ed: the label drops
+            // `Corollary`'s `k`, which changes the built spanner — two
+            // requests differing only in `k` must not share an oracle.
+            algorithm: format!("{:?}", self.spanner.algorithm()),
             graph: self.spanner.graph().fingerprint(),
-            algorithm: self.spanner.algorithm().label(),
             backend: format!("{:?}", self.spanner.backend()),
             seed: self.spanner.seed_value(),
             engine: self.engine.label(),
@@ -499,10 +628,37 @@ impl<'g> DistanceRequest<'g> {
     /// (on MPC, additionally pays the Section 7 "+1 gather" to collect
     /// it onto machine 0), preprocesses the query substrate, and returns
     /// the queryable [`DistanceOracle`].
+    ///
+    /// Thin shim over an anonymous single-use registration on the
+    /// process-wide [`SpannerService`] — the same execution path
+    /// handle-based oracle jobs run, bit-identical at equal seeds.
     pub fn build(&self) -> Result<DistanceOracle, PipelineError> {
+        SpannerService::anonymous().build_anonymous(self, None)
+    }
+
+    /// [`Self::build`] under a cancellation token, checked
+    /// **cooperatively during the build**: before and after the spanner
+    /// construction, between Thorup–Zwick levels, and between
+    /// cluster-search chunks. A token fired mid-build stops the work
+    /// within one chunk and returns [`PipelineError::Cancelled`].
+    /// The request's [`Self::deadline`] is enforced at the same
+    /// checkpoints.
+    pub fn build_with(&self, cancel: &CancelToken) -> Result<DistanceOracle, PipelineError> {
+        SpannerService::anonymous().build_anonymous(self, Some(cancel))
+    }
+
+    /// The raw guarded build (plan → spanner → gather → substrate),
+    /// shared by the anonymous shims above and by the service's oracle
+    /// jobs.
+    pub(crate) fn build_guarded(
+        &self,
+        guard: &BuildGuard,
+    ) -> Result<DistanceOracle, PipelineError> {
         let plan = self.plan()?;
         let started = Instant::now();
-        let report = self.spanner.run()?;
+        guard.check()?;
+        let report = self.spanner.run_uncached()?;
+        guard.check()?;
         let result = report.result;
 
         // Step 2 of Section 7 on the MPC backend: a real in-model gather
@@ -539,15 +695,17 @@ impl<'g> DistanceRequest<'g> {
             stats => (stats, None),
         };
 
+        guard.check()?;
         let spanner = self.spanner.graph().edge_subgraph(&result.edges);
         let sketches = match self.engine {
             QueryEngine::Dijkstra => None,
-            QueryEngine::Sketches { levels } => Some(DistanceSketches::preprocess_with_substrate(
+            QueryEngine::Sketches { levels } => Some(DistanceSketches::preprocess_guarded(
                 &spanner,
                 levels,
                 self.spanner.seed_value(),
                 result.stretch_bound,
-            )),
+                guard,
+            )?),
         };
 
         // The deadline covers the whole build — gather and substrate
@@ -732,6 +890,30 @@ impl DistanceOracle {
     }
 }
 
+impl HeapSize for VertexSketch {
+    fn heap_size(&self) -> usize {
+        // HashMap entries cost roughly twice their payload (buckets +
+        // control bytes); an estimate is all the store needs.
+        self.pivots.len() * std::mem::size_of::<(u32, Distance)>()
+            + 2 * self.bunch.len() * std::mem::size_of::<(u32, Distance)>()
+    }
+}
+
+impl HeapSize for DistanceSketches {
+    fn heap_size(&self) -> usize {
+        self.sketches.iter().map(HeapSize::heap_size).sum()
+    }
+}
+
+impl HeapSize for DistanceOracle {
+    fn heap_size(&self) -> usize {
+        self.spanner.heap_size()
+            + self.spanner_edges.len() * std::mem::size_of::<EdgeId>()
+            + self.sketches.as_ref().map_or(0, HeapSize::heap_size)
+            + std::mem::size_of::<Self>()
+    }
+}
+
 // ---------------------------------------------------------------------
 // Caching and batching
 // ---------------------------------------------------------------------
@@ -742,7 +924,8 @@ impl DistanceOracle {
 pub struct OracleKey {
     /// [`Graph::fingerprint`] of the host graph.
     pub graph: u64,
-    /// Algorithm label (carries all parameters).
+    /// Debug rendering of the [`Algorithm`] (carries **all** its
+    /// parameters, unlike the display label).
     pub algorithm: String,
     /// Backend rendering (carries γ / explicit configs).
     pub backend: String,
@@ -754,47 +937,79 @@ pub struct OracleKey {
 
 /// A build-once cache of [`DistanceOracle`]s keyed by [`OracleKey`],
 /// shareable across batches and threads.
-#[derive(Debug, Default)]
+///
+/// Since the [`super::service`] redesign the cache sits on the same
+/// memory-budgeted [`LruStore`] as the service's artifact store:
+/// oracles are sized through [`HeapSize`] and the least-recently-used
+/// ones are evicted once [`OracleCache::with_budget`]'s byte budget is
+/// exceeded ([`OracleCache::new`] keeps the historical never-evict
+/// behaviour via an unlimited budget, but now tracks recency and usage
+/// too). New code serving long-lived traffic should prefer a
+/// [`SpannerService`], which adds registration, versioned invalidation
+/// and admission control on top of the same store.
+#[derive(Debug)]
 pub struct OracleCache {
-    inner: Mutex<HashMap<OracleKey, Arc<DistanceOracle>>>,
+    store: LruStore<OracleKey, Arc<DistanceOracle>>,
+}
+
+impl Default for OracleCache {
+    fn default() -> Self {
+        OracleCache::new()
+    }
 }
 
 impl OracleCache {
-    /// An empty cache.
+    /// An empty cache with an unlimited budget (never evicts).
     pub fn new() -> Self {
-        OracleCache::default()
+        OracleCache::with_budget(usize::MAX)
+    }
+
+    /// An empty cache that holds at most `budget_bytes` of oracles
+    /// ([`HeapSize`] accounting) and evicts least-recently-used entries
+    /// beyond that.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        OracleCache {
+            store: LruStore::new(budget_bytes),
+        }
     }
 
     /// Number of cached oracles.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.store.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
+    }
+
+    /// Estimated bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.store.used_bytes()
+    }
+
+    /// Oracles evicted under budget pressure over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.store.evictions()
     }
 
     /// Returns the cached oracle for the request's key, building (and
     /// caching) it on a miss. Concurrent misses on the same key may
     /// build twice; the first insert wins, so callers always observe one
-    /// oracle per key.
+    /// oracle per key. A hit marks the entry most-recently-used; an
+    /// insert may evict the least-recently-used oracles to stay within
+    /// budget.
     pub fn get_or_build(
         &self,
         request: &DistanceRequest<'_>,
     ) -> Result<Arc<DistanceOracle>, PipelineError> {
         let key = request.cache_key();
-        if let Some(hit) = self.inner.lock().expect("cache poisoned").get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = self.store.get(&key) {
+            return Ok(hit);
         }
         let built = Arc::new(request.build()?);
-        Ok(Arc::clone(
-            self.inner
-                .lock()
-                .expect("cache poisoned")
-                .entry(key)
-                .or_insert(built),
-        ))
+        let size = built.heap_size();
+        Ok(self.store.insert_or_get(key, built, size))
     }
 }
 
@@ -848,7 +1063,11 @@ impl<'g> DistanceBatch<'g> {
 
     /// [`Self::build`] under a cancellation token: requests that have
     /// not started when the token fires fail with
-    /// [`PipelineError::Cancelled`].
+    /// [`PipelineError::Cancelled`], and **in-flight builds observe the
+    /// token cooperatively** (between Thorup–Zwick levels and
+    /// cluster-search chunks, via [`DistanceRequest::build_with`]), so
+    /// a mid-batch cancellation stops early instead of finishing every
+    /// started oracle.
     pub fn build_with(
         &self,
         cancel: &CancelToken,
@@ -873,7 +1092,7 @@ impl<'g> DistanceBatch<'g> {
                 if cancel.is_cancelled() {
                     Err(PipelineError::Cancelled)
                 } else {
-                    self.requests[i].build().map(Arc::new)
+                    self.requests[i].build_with(cancel).map(Arc::new)
                 }
             })
             .collect();
@@ -1109,6 +1328,55 @@ mod tests {
         assert!(Arc::ptr_eq(a, b), "identical requests must share one build");
         assert!(!Arc::ptr_eq(a, oracles[1].as_ref().unwrap()));
         assert!(matches!(oracles[3], Err(PipelineError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn cache_keys_carry_every_algorithm_parameter() {
+        // The Corollary settings take their `k` outside the label; the
+        // cache identity must still distinguish it.
+        use crate::presets::CorollarySetting;
+        let g = graph();
+        let r = |k: u32| {
+            DistanceRequest::new(
+                &g,
+                Algorithm::Corollary {
+                    setting: CorollarySetting::Fastest,
+                    k,
+                },
+            )
+            .seed(1)
+        };
+        assert_ne!(r(2).cache_key(), r(4).cache_key());
+        assert_eq!(r(3).cache_key(), r(3).cache_key());
+    }
+
+    #[test]
+    fn oracle_cache_evicts_in_lru_order_under_budget() {
+        let g = graph();
+        let r = |seed: u64| request(&g).seed(seed);
+        // Size the budget from real builds: room for exactly two of the
+        // three oracles, so the third insert must evict — and precisely
+        // the least-recently-used one.
+        let sizes: Vec<usize> = (1..=3u64)
+            .map(|s| r(s).build().unwrap().heap_size())
+            .collect();
+        let cache = OracleCache::with_budget(sizes.iter().sum::<usize>() - 1);
+
+        let o1 = cache.get_or_build(&r(1)).unwrap();
+        let o2 = cache.get_or_build(&r(2)).unwrap();
+        assert!(Arc::ptr_eq(&o1, &cache.get_or_build(&r(1)).unwrap())); // touch 1 → 2 is LRU
+        let _o3 = cache.get_or_build(&r(3)).unwrap(); // over budget → evict 2
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+
+        // Seed 2 was evicted (rebuild), then its insert evicts seed 1 —
+        // the LRU at that point — while the re-served answers stay
+        // correct (recomputed, bit-identical).
+        let o2_again = cache.get_or_build(&r(2)).unwrap();
+        assert!(!Arc::ptr_eq(&o2, &o2_again), "evicted entry must rebuild");
+        assert_eq!(o2.query(0, 50), o2_again.query(0, 50));
+        assert_eq!(cache.evictions(), 2);
+        assert!(!Arc::ptr_eq(&o1, &cache.get_or_build(&r(1)).unwrap()));
     }
 
     #[test]

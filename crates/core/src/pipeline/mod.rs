@@ -36,6 +36,13 @@
 //!   pool, each failing independently: the serving-shaped workload.
 //!   Per-request deadlines ([`SpannerRequest::deadline`]) and a shared
 //!   [`CancelToken`] ([`Batch::run_with`]) bound tail latency;
+//! * [`service`] — **the long-lived serving front door**: a
+//!   [`SpannerService`] owning a fingerprint-deduped, versioned graph
+//!   registry ([`SpannerService::register`] → [`GraphHandle`]), a
+//!   memory-budgeted LRU artifact store ([`HeapSize`]-sized spanners
+//!   and oracles), admission control and [`ServiceStats`]. Register
+//!   once, serve many — the one-shot request types below are thin
+//!   shims over an anonymous single-use registration on this layer;
 //! * [`distance`] — the Section 7 / §1.2 serving stage: a
 //!   [`DistanceRequest`] composes any spanner request with a
 //!   [`QueryEngine`] (exact Dijkstra or Thorup–Zwick sketches) into a
@@ -87,13 +94,18 @@ use crate::unweighted_ok::UnweightedOkConfig;
 pub mod clique;
 pub mod distance;
 pub mod pram_cost;
+pub mod service;
 
 pub use clique::CcNetwork;
 pub use distance::{
-    DistanceBatch, DistanceBuildStats, DistanceOracle, DistancePlan, DistanceRequest,
+    BuildGuard, DistanceBatch, DistanceBuildStats, DistanceOracle, DistancePlan, DistanceRequest,
     DistanceSketches, OracleCache, OracleKey, QueryEngine, VertexSketch,
 };
 pub use pram_cost::{log_star, PramTracker};
+pub use service::{
+    GraphHandle, HeapSize, LruStore, OracleJob, OverloadPolicy, ServiceConfig, ServiceJob,
+    ServiceStats, SpannerJob, SpannerService,
+};
 
 // The request vocabulary in one import: algorithms are parameterised by
 // these types, so the pipeline re-exports them.
@@ -419,6 +431,14 @@ pub enum PipelineError {
         /// How long execution actually took.
         elapsed: Duration,
     },
+    /// A [`SpannerService`] with [`OverloadPolicy::Reject`] had no free
+    /// execution slot for this job.
+    Overloaded {
+        /// Executions in flight when the job was rejected.
+        in_flight: usize,
+        /// The service's `max_in_flight` limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -444,6 +464,10 @@ impl fmt::Display for PipelineError {
             } => write!(
                 f,
                 "{algorithm}: deadline exceeded ({elapsed:?} > {deadline:?})"
+            ),
+            PipelineError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} jobs in flight (limit {limit})"
             ),
         }
     }
@@ -927,7 +951,21 @@ impl<'g> SpannerRequest<'g> {
     }
 
     /// Executes the request on its backend.
+    ///
+    /// Since the [`service`] redesign this is a thin shim over an
+    /// anonymous single-use registration on the process-wide service
+    /// (no artifact store, unlimited admission): the graph is borrowed
+    /// for exactly one job, and the execution path is the same one
+    /// handle-based [`SpannerJob`]s run, so one-shot and registered
+    /// calls produce bit-identical reports at equal seeds.
     pub fn run(&self) -> Result<RunReport, PipelineError> {
+        SpannerService::anonymous().run_anonymous(self)
+    }
+
+    /// The raw execution path (plan → execute → deadline →
+    /// verification), shared by the anonymous shim above and by
+    /// [`SpannerJob`]s, which add registry/store/admission around it.
+    pub(crate) fn run_uncached(&self) -> Result<RunReport, PipelineError> {
         let plan = self.plan()?;
         let started = Instant::now();
         let (result, stats) = self.execute(&plan)?;

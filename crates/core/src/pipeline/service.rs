@@ -1,0 +1,1426 @@
+//! The **long-lived serving front door**: register a graph once, serve
+//! many jobs against the handle.
+//!
+//! The one-shot API ([`SpannerRequest`] / [`super::DistanceRequest`])
+//! borrows a `&Graph` per call: every caller re-submits the full graph
+//! and every derived artefact (spanner, oracle) dies with the call. The
+//! paper's headline application (§1.2, §7) is the opposite shape — one
+//! expensive parallel preprocessing, then *many* cheap distance queries
+//! — so this module redesigns the front door around long-lived state:
+//!
+//! ```
+//! use spanner_core::pipeline::{Algorithm, QueryEngine, SpannerService};
+//! use spanner_core::TradeoffParams;
+//! use spanner_graph::generators::{connected_erdos_renyi, WeightModel};
+//!
+//! let service = SpannerService::new();
+//! let g = connected_erdos_renyi(120, 0.08, WeightModel::Uniform(1, 16), 7);
+//! let handle = service.register(g); // fingerprint-deduped, versioned
+//!
+//! // First build is a miss; the artifact lands in the budgeted store.
+//! let oracle = service
+//!     .oracle(&handle, Algorithm::General(TradeoffParams::new(4, 2)))
+//!     .engine(QueryEngine::Sketches { levels: 2 })
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! let d = oracle.query(0, 50);
+//! assert!(d >= 1);
+//!
+//! // Same job again: served from the store, no recomputation.
+//! let again = service
+//!     .oracle(&handle, Algorithm::General(TradeoffParams::new(4, 2)))
+//!     .engine(QueryEngine::Sketches { levels: 2 })
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&oracle, &again));
+//! assert_eq!(service.stats().hits, 1);
+//! ```
+//!
+//! * [`SpannerService::register`] — graph registry: handles are `Arc`'d
+//!   (zero-copy sharing across jobs and threads), deduplicated by
+//!   [`Graph::fingerprint`] *plus a full content comparison* (a
+//!   fingerprint collision must never alias two different graphs), and
+//!   **versioned**: re-registering a mutated graph under the same
+//!   registry key bumps the version and invalidates every dependent
+//!   artifact, so a stale oracle can never be served;
+//! * [`SpannerService::spanner`] / [`SpannerService::oracle`] — job
+//!   builders that reuse the one-shot vocabulary unchanged
+//!   ([`Algorithm`], [`Backend`], [`Verification`], seeds, deadlines,
+//!   [`CancelToken`]s) and return the same [`RunReport`] /
+//!   [`DistanceOracle`] types, `Arc`'d out of the artifact store;
+//! * [`LruStore`] — the memory-budgeted artifact store: every artifact
+//!   is sized through the [`HeapSize`] trait and the least-recently-used
+//!   entries are evicted once the byte budget is exceeded;
+//! * admission control — [`ServiceConfig::max_in_flight`] bounds
+//!   concurrent executions, with an [`OverloadPolicy`] choosing between
+//!   queueing and typed rejection ([`PipelineError::Overloaded`]);
+//! * [`SpannerService::prebuild`] — warm-up: build a set of jobs into
+//!   the store before traffic arrives;
+//! * [`ServiceStats`] — hit/miss/eviction/latency counters.
+//!
+//! The one-shot API is now a thin shim over this module: a bare
+//! [`SpannerRequest::run`] routes through a process-wide *anonymous*
+//! service (an unbudgeted, unlimited-admission instance) as a
+//! single-use registration — the graph is borrowed for the duration of
+//! one job instead of entering the registry — so one-shot and
+//! handle-based calls execute the same code path and produce
+//! bit-identical artifacts at equal seeds.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use spanner_graph::edge::{Edge, EdgeId, Weight};
+use spanner_graph::Graph;
+
+use super::distance::{BuildGuard, DistanceOracle, DistanceRequest, QueryEngine};
+use super::{
+    Algorithm, Backend, CancelToken, PipelineError, RunReport, SpannerRequest, Verification,
+};
+use crate::result::SpannerResult;
+
+// ---------------------------------------------------------------------
+// HeapSize
+// ---------------------------------------------------------------------
+
+/// Estimated heap footprint in bytes — what the artifact store's budget
+/// is denominated in.
+///
+/// Estimates count the dominant owned allocations (edge lists, CSR
+/// arrays, sketch tables); constant-size headers and allocator slack are
+/// ignored. The store only needs *relative* sizes to be faithful for
+/// its eviction decisions, not byte-exact accounting.
+pub trait HeapSize {
+    /// Estimated owned heap bytes.
+    fn heap_size(&self) -> usize;
+}
+
+impl HeapSize for Graph {
+    fn heap_size(&self) -> usize {
+        // Canonical edge list + two CSR adjacency entries per edge +
+        // the offset array.
+        self.m() * std::mem::size_of::<Edge>()
+            + 2 * self.m() * std::mem::size_of::<(u32, Weight, EdgeId)>()
+            + (self.n() + 1) * std::mem::size_of::<usize>()
+    }
+}
+
+impl HeapSize for SpannerResult {
+    fn heap_size(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<EdgeId>()
+            + self.radius_per_epoch.len() * std::mem::size_of::<u32>()
+            + self.supernodes_per_epoch.len() * std::mem::size_of::<usize>()
+            + self.algorithm.len()
+    }
+}
+
+impl HeapSize for RunReport {
+    fn heap_size(&self) -> usize {
+        self.result.heap_size() + self.plan.algorithm.len() + std::mem::size_of::<Self>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Arc<T> {
+    fn heap_size(&self) -> usize {
+        T::heap_size(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The budgeted LRU store
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct StoreEntry<V> {
+    value: V,
+    size: usize,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct LruInner<K, V> {
+    map: HashMap<K, StoreEntry<V>>,
+    /// Recency index: `last_used` tick → key (ticks are unique), so the
+    /// LRU victim is `pop_first()` instead of a full map scan.
+    order: std::collections::BTreeMap<u64, K>,
+    used: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruInner<K, V> {
+    /// Moves an existing entry to the front of the recency order.
+    fn touch(&mut self, key: &K) -> Option<&StoreEntry<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        self.order.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.order.insert(tick, key.clone());
+        Some(entry)
+    }
+}
+
+/// A thread-safe, memory-budgeted map with least-recently-used
+/// eviction. Values carry an explicit byte size (usually
+/// [`HeapSize::heap_size`]); once the running total exceeds the budget,
+/// least-recently-touched entries are evicted until it fits. An entry
+/// larger than the whole budget is never admitted in the first place —
+/// the caller still gets its value back, and the warm entries (which
+/// do fit) are left untouched.
+///
+/// This is the artifact store behind [`SpannerService`] and the
+/// replacement for the previously unbounded
+/// [`super::OracleCache`][`super::distance::OracleCache`] map.
+#[derive(Debug)]
+pub struct LruStore<K, V> {
+    budget: usize,
+    inner: Mutex<LruInner<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
+    /// An empty store with the given byte budget (`usize::MAX` for
+    /// "track recency but never evict"; `0` disables caching entirely).
+    pub fn new(budget_bytes: usize) -> Self {
+        LruStore {
+            budget: budget_bytes,
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                order: std::collections::BTreeMap::new(),
+                used: 0,
+                tick: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.lock().used
+    }
+
+    /// Entries evicted over the store's lifetime (budget pressure only;
+    /// explicit [`LruStore::purge`] removals are not counted).
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
+    /// Fetches and touches (marks most-recently-used) an entry.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.lock();
+        inner.touch(key).map(|e| e.value.clone())
+    }
+
+    /// Inserts `value` under `key` unless the key is already present;
+    /// either way returns the entry the store now serves (first insert
+    /// wins, so concurrent builders of the same key converge on one
+    /// artifact). Evicts LRU entries as needed afterwards.
+    pub fn insert_or_get(&self, key: K, value: V, size: usize) -> V {
+        let mut inner = self.lock();
+        let winner = if let Some(existing) = inner.touch(&key) {
+            existing.value.clone()
+        } else if size > self.budget {
+            // Never cacheable: inserting first and evicting down would
+            // pop every (still-fitting) warm entry before this one —
+            // wiping the store for nothing. Leave the warm entries be.
+            inner.evictions += 1;
+            value
+        } else {
+            inner.tick += 1;
+            let tick = inner.tick;
+            let value2 = value.clone();
+            inner.map.insert(
+                key.clone(),
+                StoreEntry {
+                    value,
+                    size,
+                    last_used: tick,
+                },
+            );
+            inner.order.insert(tick, key);
+            inner.used += size;
+            value2
+        };
+        self.evict_to_budget(&mut inner);
+        winner
+    }
+
+    /// Removes every entry whose key fails `keep`; returns how many
+    /// were removed. Used for artifact invalidation on graph
+    /// re-registration (not counted as budget evictions).
+    pub fn purge(&self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let mut inner = self.lock();
+        let before = inner.map.len();
+        let mut freed = 0usize;
+        let mut dropped_ticks = Vec::new();
+        inner.map.retain(|k, e| {
+            let keep_it = keep(k);
+            if !keep_it {
+                freed += e.size;
+                dropped_ticks.push(e.last_used);
+            }
+            keep_it
+        });
+        for tick in dropped_ticks {
+            inner.order.remove(&tick);
+        }
+        inner.used -= freed;
+        before - inner.map.len()
+    }
+
+    fn evict_to_budget(&self, inner: &mut LruInner<K, V>) {
+        while inner.used > self.budget {
+            let Some((_, victim)) = inner.order.pop_first() else {
+                break;
+            };
+            let e = inner
+                .map
+                .remove(&victim)
+                .expect("order index and map stay in sync");
+            inner.used -= e.size;
+            inner.evictions += 1;
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruInner<K, V>> {
+        self.inner.lock().expect("store poisoned")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration, stats, admission
+// ---------------------------------------------------------------------
+
+/// What happens to a job submitted while [`ServiceConfig::max_in_flight`]
+/// executions are already running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the submitting thread until a slot frees up (the default:
+    /// backpressure, no dropped work).
+    #[default]
+    Queue,
+    /// Fail fast with [`PipelineError::Overloaded`] — the load-shedding
+    /// policy for latency-sensitive frontends.
+    Reject,
+}
+
+/// Tuning knobs of a [`SpannerService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Byte budget of the artifact store ([`HeapSize`] accounting).
+    /// `0` disables caching — every job recomputes.
+    pub store_budget_bytes: usize,
+    /// Maximum concurrently *executing* jobs (store hits don't count —
+    /// they never execute). `0` means unlimited.
+    pub max_in_flight: usize,
+    /// Policy once `max_in_flight` executions are running.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            // Generous for the reproduction's workloads; production
+            // deployments size this to the serving tier's RAM.
+            store_budget_bytes: 256 << 20,
+            max_in_flight: 0,
+            overload: OverloadPolicy::Queue,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a service's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs answered from the artifact store.
+    pub hits: u64,
+    /// Jobs that missed the store and actually executed. Jobs rejected
+    /// by admission or cancelled before execution are *not* misses —
+    /// they appear only under [`ServiceStats::rejected`] / the caller's
+    /// error, so [`ServiceStats::hit_rate`] and
+    /// [`ServiceStats::avg_job_latency`] describe real traffic.
+    pub misses: u64,
+    /// Artifacts evicted under budget pressure.
+    pub evictions: u64,
+    /// Artifacts invalidated by graph re-registration /
+    /// [`SpannerService::invalidate`].
+    pub invalidations: u64,
+    /// Jobs rejected by [`OverloadPolicy::Reject`].
+    pub rejected: u64,
+    /// Jobs that waited for an execution slot under
+    /// [`OverloadPolicy::Queue`].
+    pub queued: u64,
+    /// Executed jobs that completed successfully.
+    pub completed: u64,
+    /// Executed jobs that returned an error.
+    pub failed: u64,
+    /// Total wall-clock across executed jobs (admission wait included).
+    pub busy: Duration,
+    /// Artifacts currently cached.
+    pub store_len: usize,
+    /// Bytes currently cached.
+    pub store_used_bytes: usize,
+}
+
+impl ServiceStats {
+    /// Mean wall-clock latency of executed (miss-path) jobs.
+    pub fn avg_job_latency(&self) -> Duration {
+        let executed = self.completed + self.failed;
+        if executed == 0 {
+            Duration::ZERO
+        } else {
+            self.busy / executed as u32
+        }
+    }
+
+    /// Store hit rate over all served jobs (0.0 when nothing served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// One-line summary for logs and experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "hits={} misses={} (rate {:.0}%) evictions={} invalidations={} rejected={} \
+             queued={} avg_latency={:.3?} store={}B/{} entries",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.evictions,
+            self.invalidations,
+            self.rejected,
+            self.queued,
+            self.avg_job_latency(),
+            self.store_used_bytes,
+            self.store_len,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    rejected: AtomicU64,
+    queued: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    busy_micros: AtomicU64,
+}
+
+/// Counting semaphore over (max_in_flight, policy) — plain
+/// Mutex+Condvar, deterministic under the test loads we care about.
+#[derive(Debug)]
+struct Admission {
+    max_in_flight: usize,
+    policy: OverloadPolicy,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// RAII execution slot; releasing wakes one queued job.
+#[derive(Debug)]
+struct Permit<'a>(Option<&'a Admission>);
+
+impl Admission {
+    fn new(max_in_flight: usize, policy: OverloadPolicy) -> Self {
+        Admission {
+            max_in_flight,
+            policy,
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, counters: &Counters) -> Result<Permit<'_>, PipelineError> {
+        self.acquire_with(counters, &|| Ok(()))
+    }
+
+    /// [`Self::acquire`] with an interruption check: while queued, the
+    /// waiter re-evaluates `interrupt` a few times per second, so a
+    /// fired [`CancelToken`] or an expired deadline releases the
+    /// submitting thread instead of leaving it blocked until a slot
+    /// frees.
+    fn acquire_with(
+        &self,
+        counters: &Counters,
+        interrupt: &dyn Fn() -> Result<(), PipelineError>,
+    ) -> Result<Permit<'_>, PipelineError> {
+        if self.max_in_flight == 0 {
+            return Ok(Permit(None));
+        }
+        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        if *in_flight >= self.max_in_flight {
+            match self.policy {
+                OverloadPolicy::Reject => {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(PipelineError::Overloaded {
+                        in_flight: *in_flight,
+                        limit: self.max_in_flight,
+                    });
+                }
+                OverloadPolicy::Queue => {
+                    counters.queued.fetch_add(1, Ordering::Relaxed);
+                    while *in_flight >= self.max_in_flight {
+                        interrupt()?;
+                        let (guard, _timed_out) = self
+                            .freed
+                            .wait_timeout(in_flight, Duration::from_millis(10))
+                            .expect("admission poisoned");
+                        in_flight = guard;
+                    }
+                }
+            }
+        }
+        *in_flight += 1;
+        Ok(Permit(Some(self)))
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if let Some(admission) = self.0 {
+            let mut in_flight = admission.in_flight.lock().expect("admission poisoned");
+            *in_flight -= 1;
+            drop(in_flight);
+            admission.freed.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct RegisteredGraph {
+    graph: Arc<Graph>,
+    key: u64,
+    version: u64,
+}
+
+/// A registered graph: an `Arc`'d zero-copy reference plus the
+/// `(registry key, version)` identity that scopes every derived
+/// artifact. Cloning is cheap; clones refer to the same registration.
+///
+/// Handles stay valid forever — a handle obtained *before* a graph was
+/// re-registered still pins its own (old) graph and version, so jobs
+/// submitted through it keep answering for the graph the caller
+/// actually holds; they simply no longer share artifacts with the new
+/// version.
+#[derive(Debug, Clone)]
+pub struct GraphHandle {
+    inner: Arc<RegisteredGraph>,
+}
+
+impl GraphHandle {
+    /// The registered graph.
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// The `Arc` the registry shares (for callers that need to move the
+    /// graph across threads without a handle).
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.inner.graph)
+    }
+
+    /// The registry key (normally [`Graph::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.key
+    }
+
+    /// The registration version (bumped each time different content is
+    /// registered under the same key).
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+}
+
+fn same_content(a: &Graph, b: &Graph) -> bool {
+    a.n() == b.n() && a.edges() == b.edges()
+}
+
+// ---------------------------------------------------------------------
+// Artifact identity
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ArtifactKey {
+    graph: u64,
+    version: u64,
+    /// Everything else that determines the artifact, rendered
+    /// deterministically: kind, algorithm label, backend, seed, engine,
+    /// verification policy.
+    job: String,
+}
+
+#[derive(Debug, Clone)]
+enum Artifact {
+    Spanner(Arc<RunReport>),
+    Oracle(Arc<DistanceOracle>),
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// A long-lived serving front end over the pipeline: a graph registry,
+/// a memory-budgeted artifact store, admission control and counters.
+/// See the [module docs](self) for the full tour.
+///
+/// The service is `Sync`: one instance serves jobs from any number of
+/// threads concurrently.
+#[derive(Debug)]
+pub struct SpannerService {
+    config: ServiceConfig,
+    registry: Mutex<HashMap<u64, GraphHandle>>,
+    store: LruStore<ArtifactKey, Artifact>,
+    admission: Admission,
+    counters: Counters,
+}
+
+impl Default for SpannerService {
+    fn default() -> Self {
+        SpannerService::new()
+    }
+}
+
+impl SpannerService {
+    /// A service with the default [`ServiceConfig`].
+    pub fn new() -> Self {
+        SpannerService::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit tuning.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        SpannerService {
+            config,
+            registry: Mutex::new(HashMap::new()),
+            store: LruStore::new(config.store_budget_bytes),
+            admission: Admission::new(config.max_in_flight, config.overload),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configuration this service runs with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Registers a graph and returns its handle.
+    ///
+    /// Registration is idempotent and zero-copy-friendly: pass an
+    /// `Arc<Graph>` (or a `Graph`, which is wrapped) and re-registering
+    /// identical content returns the *same* registration (same version,
+    /// same `Arc`). Registering **different** content whose fingerprint
+    /// collides with an existing registration bumps the version and
+    /// invalidates every artifact of the old version — the fingerprint
+    /// is a hash, not a proof of identity, so the registry always
+    /// confirms equality on the actual edge lists.
+    pub fn register(&self, graph: impl Into<Arc<Graph>>) -> GraphHandle {
+        let graph = graph.into();
+        let key = graph.fingerprint();
+        self.register_keyed(key, graph)
+    }
+
+    /// [`SpannerService::register`] under an explicit registry key
+    /// instead of the graph's own fingerprint.
+    ///
+    /// This is the collision-handling entry point: production callers
+    /// never need it, but it lets tests (and sharding layers that
+    /// assign their own keys) exercise the "same key, different
+    /// content" path deterministically.
+    pub fn register_keyed(&self, key: u64, graph: impl Into<Arc<Graph>>) -> GraphHandle {
+        let graph = graph.into();
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        match registry.get(&key) {
+            Some(existing)
+                if Arc::ptr_eq(&existing.inner.graph, &graph)
+                    || same_content(&existing.inner.graph, &graph) =>
+            {
+                existing.clone()
+            }
+            Some(existing) => {
+                // Same key, different content: a mutated graph (or a
+                // genuine fingerprint collision). Never alias — bump
+                // the version and drop every artifact derived from the
+                // old one.
+                let version = existing.inner.version + 1;
+                let handle = GraphHandle {
+                    inner: Arc::new(RegisteredGraph {
+                        graph,
+                        key,
+                        version,
+                    }),
+                };
+                registry.insert(key, handle.clone());
+                drop(registry);
+                let purged = self
+                    .store
+                    .purge(|k| !(k.graph == key && k.version < version));
+                self.counters
+                    .invalidations
+                    .fetch_add(purged as u64, Ordering::Relaxed);
+                handle
+            }
+            None => {
+                let handle = GraphHandle {
+                    inner: Arc::new(RegisteredGraph {
+                        graph,
+                        key,
+                        version: 1,
+                    }),
+                };
+                registry.insert(key, handle.clone());
+                handle
+            }
+        }
+    }
+
+    /// Number of currently registered graphs.
+    pub fn registered(&self) -> usize {
+        self.registry.lock().expect("registry poisoned").len()
+    }
+
+    /// Drops a registration and every artifact derived from it; returns
+    /// how many artifacts were invalidated. The handle itself (and any
+    /// `Arc`'d artifacts already handed out) stay usable — invalidation
+    /// only empties the *shared* store.
+    pub fn invalidate(&self, handle: &GraphHandle) -> usize {
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        if let Some(current) = registry.get(&handle.inner.key) {
+            if current.inner.version == handle.inner.version {
+                registry.remove(&handle.inner.key);
+            }
+        }
+        drop(registry);
+        let purged = self
+            .store
+            .purge(|k| !(k.graph == handle.inner.key && k.version == handle.inner.version));
+        self.counters
+            .invalidations
+            .fetch_add(purged as u64, Ordering::Relaxed);
+        purged
+    }
+
+    /// Starts describing a spanner-construction job against a
+    /// registered graph. Terminal call: [`SpannerJob::run`].
+    pub fn spanner(&self, handle: &GraphHandle, algorithm: Algorithm) -> SpannerJob<'_> {
+        SpannerJob {
+            service: self,
+            handle: handle.clone(),
+            algorithm,
+            backend: Backend::Sequential,
+            seed: 0,
+            verification: Verification::Skip,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Starts describing a distance-oracle job against a registered
+    /// graph. Terminal call: [`OracleJob::build`].
+    pub fn oracle(&self, handle: &GraphHandle, algorithm: Algorithm) -> OracleJob<'_> {
+        OracleJob {
+            service: self,
+            handle: handle.clone(),
+            algorithm,
+            backend: Backend::Sequential,
+            seed: 0,
+            engine: QueryEngine::Dijkstra,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Warm-up: executes the given jobs concurrently (through the same
+    /// admission control as live traffic), populating the artifact
+    /// store so the first real requests hit. Results come back in
+    /// submission order; artifacts are dropped here (they stay in the
+    /// store) and each job fails independently.
+    pub fn prebuild(&self, jobs: Vec<ServiceJob<'_>>) -> Vec<Result<(), PipelineError>> {
+        jobs.par_iter()
+            .map(|job| match job {
+                ServiceJob::Spanner(j) => j.run().map(drop),
+                ServiceJob::Oracle(j) => j.build().map(drop),
+            })
+            .collect()
+    }
+
+    /// A point-in-time snapshot of the service's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: self.store.evictions(),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            queued: c.queued.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            busy: Duration::from_micros(c.busy_micros.load(Ordering::Relaxed)),
+            store_len: self.store.len(),
+            store_used_bytes: self.store.used_bytes(),
+        }
+    }
+
+    /// Artifacts currently cached.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes the artifact store currently holds.
+    pub fn store_used_bytes(&self) -> usize {
+        self.store.used_bytes()
+    }
+
+    // -- execution ----------------------------------------------------
+
+    fn run_spanner_job(&self, job: &SpannerJob<'_>) -> Result<Arc<RunReport>, PipelineError> {
+        // Debug-render the algorithm, not its `label()`: the label drops
+        // `Corollary`'s `k`, and two jobs differing only in `k` build
+        // different spanners — they must never alias in the store.
+        let key = ArtifactKey {
+            graph: job.handle.inner.key,
+            version: job.handle.inner.version,
+            job: format!(
+                "spanner|{:?}|{:?}|seed={}|verify={:?}",
+                job.algorithm, job.backend, job.seed, job.verification
+            ),
+        };
+        if self.config.store_budget_bytes > 0 {
+            if let Some(Artifact::Spanner(hit)) = self.store.get(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let started = Instant::now();
+        let interrupt = || {
+            check_cancel(job.cancel.as_ref())?;
+            if let Some(deadline) = job.deadline {
+                let elapsed = started.elapsed();
+                if elapsed > deadline {
+                    return Err(PipelineError::DeadlineExceeded {
+                        algorithm: job.algorithm.label(),
+                        deadline,
+                        elapsed,
+                    });
+                }
+            }
+            Ok(())
+        };
+        // Rejected / cancelled-before-execution jobs return here without
+        // touching the miss or latency counters — only executions count.
+        interrupt()?;
+        let permit = self.admission.acquire_with(&self.counters, &interrupt)?;
+        interrupt()?;
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let built = {
+            let mut request = SpannerRequest::new(job.handle.graph(), job.algorithm)
+                .on(job.backend)
+                .seed(job.seed)
+                .verification(job.verification);
+            if let Some(deadline) = job.deadline {
+                // The execution clock restarts inside the request, so
+                // hand it only what's left after the admission wait —
+                // the job's deadline covers wait + execution together.
+                request = request.deadline(deadline.saturating_sub(started.elapsed()));
+            }
+            request.run_uncached()
+        };
+        drop(permit);
+        self.finish(started, built.is_ok());
+        let report = Arc::new(built?);
+        if self.config.store_budget_bytes == 0 {
+            return Ok(report);
+        }
+        let size = report.heap_size();
+        match self
+            .store
+            .insert_or_get(key, Artifact::Spanner(report), size)
+        {
+            Artifact::Spanner(winner) => Ok(winner),
+            Artifact::Oracle(_) => unreachable!("spanner keys never map to oracle artifacts"),
+        }
+    }
+
+    fn run_oracle_job(&self, job: &OracleJob<'_>) -> Result<Arc<DistanceOracle>, PipelineError> {
+        let key = ArtifactKey {
+            graph: job.handle.inner.key,
+            version: job.handle.inner.version,
+            job: format!(
+                "oracle|{:?}|{:?}|seed={}|engine={}",
+                job.algorithm,
+                job.backend,
+                job.seed,
+                job.engine.label()
+            ),
+        };
+        if self.config.store_budget_bytes > 0 {
+            if let Some(Artifact::Oracle(hit)) = self.store.get(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let started = Instant::now();
+        // The guard's clock starts at submission, so admission wait
+        // counts against the job's deadline — and a queued job whose
+        // token fires is released by the admission interrupt check.
+        let mut guard = BuildGuard::new(job.algorithm.label());
+        if let Some(token) = &job.cancel {
+            guard = guard.with_cancel(token.clone());
+        }
+        if let Some(deadline) = job.deadline {
+            guard = guard.with_deadline(deadline);
+        }
+        guard.check()?;
+        let permit = self
+            .admission
+            .acquire_with(&self.counters, &|| guard.check())?;
+        guard.check()?;
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let built = {
+            let mut request = DistanceRequest::new(job.handle.graph(), job.algorithm)
+                .on(job.backend)
+                .seed(job.seed)
+                .engine(job.engine);
+            if let Some(deadline) = job.deadline {
+                request = request.deadline(deadline);
+            }
+            request.build_guarded(&guard)
+        };
+        drop(permit);
+        self.finish(started, built.is_ok());
+        let oracle = Arc::new(built?);
+        if self.config.store_budget_bytes == 0 {
+            return Ok(oracle);
+        }
+        let size = oracle.heap_size();
+        match self
+            .store
+            .insert_or_get(key, Artifact::Oracle(oracle), size)
+        {
+            Artifact::Oracle(winner) => Ok(winner),
+            Artifact::Spanner(_) => unreachable!("oracle keys never map to spanner artifacts"),
+        }
+    }
+
+    fn finish(&self, started: Instant, ok: bool) {
+        let c = &self.counters;
+        c.busy_micros
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        if ok {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // -- the anonymous single-use path (legacy one-shot shims) --------
+
+    /// The process-wide service the one-shot API routes through: no
+    /// artifact store (the borrowed graph is gone after the call, so
+    /// nothing could be served later anyway) and unlimited admission
+    /// (the one-shot API predates admission control and must keep its
+    /// semantics).
+    pub(crate) fn anonymous() -> &'static SpannerService {
+        static ANONYMOUS: OnceLock<SpannerService> = OnceLock::new();
+        ANONYMOUS.get_or_init(|| {
+            SpannerService::with_config(ServiceConfig {
+                store_budget_bytes: 0,
+                max_in_flight: 0,
+                overload: OverloadPolicy::Queue,
+            })
+        })
+    }
+
+    /// Executes a one-shot [`SpannerRequest`] as an anonymous
+    /// single-use registration: the graph is borrowed for the duration
+    /// of this job instead of entering the registry.
+    pub(crate) fn run_anonymous(
+        &self,
+        request: &SpannerRequest<'_>,
+    ) -> Result<RunReport, PipelineError> {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let out = (|| {
+            let _permit = self.admission.acquire(&self.counters)?;
+            request.run_uncached()
+        })();
+        self.finish(started, out.is_ok());
+        out
+    }
+
+    /// Executes a one-shot [`DistanceRequest`] anonymously, with
+    /// cooperative cancellation when a token is supplied.
+    pub(crate) fn build_anonymous(
+        &self,
+        request: &DistanceRequest<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<DistanceOracle, PipelineError> {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let out = (|| {
+            let mut guard = BuildGuard::new(request.spanner_request().algorithm().label());
+            if let Some(token) = cancel {
+                guard = guard.with_cancel(token.clone());
+            }
+            if let Some(deadline) = request.spanner_request().deadline_limit() {
+                guard = guard.with_deadline(deadline);
+            }
+            guard.check()?;
+            let _permit = self.admission.acquire(&self.counters)?;
+            request.build_guarded(&guard)
+        })();
+        self.finish(started, out.is_ok());
+        out
+    }
+}
+
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), PipelineError> {
+    match cancel {
+        Some(token) if token.is_cancelled() => Err(PipelineError::Cancelled),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------
+
+/// A spanner-construction job against a registered graph — the
+/// handle-based counterpart of [`SpannerRequest`], sharing its entire
+/// vocabulary. Built by [`SpannerService::spanner`].
+#[derive(Debug, Clone)]
+pub struct SpannerJob<'s> {
+    service: &'s SpannerService,
+    handle: GraphHandle,
+    algorithm: Algorithm,
+    backend: Backend,
+    seed: u64,
+    verification: Verification,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl SpannerJob<'_> {
+    /// Chooses the execution backend.
+    pub fn on(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the shared-randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the inline verification policy (part of the artifact
+    /// identity: jobs differing only in policy do not share artifacts).
+    pub fn verification(mut self, verification: Verification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Per-job deadline (admission wait counts against it).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token, checked cooperatively before and
+    /// after admission.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Serves the job: store hit, or admission-controlled execution
+    /// whose report enters the budgeted store.
+    pub fn run(&self) -> Result<Arc<RunReport>, PipelineError> {
+        self.service.run_spanner_job(self)
+    }
+}
+
+/// A distance-oracle job against a registered graph — the handle-based
+/// counterpart of [`DistanceRequest`]. Built by
+/// [`SpannerService::oracle`].
+#[derive(Debug, Clone)]
+pub struct OracleJob<'s> {
+    service: &'s SpannerService,
+    handle: GraphHandle,
+    algorithm: Algorithm,
+    backend: Backend,
+    seed: u64,
+    engine: QueryEngine,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl OracleJob<'_> {
+    /// Chooses the execution backend for the spanner construction.
+    pub fn on(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the shared-randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chooses the query engine.
+    pub fn engine(mut self, engine: QueryEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Per-job build deadline, checked cooperatively *during* the build
+    /// (admission wait, spanner phases, between sketch levels).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token, checked cooperatively during the
+    /// build (between Thorup–Zwick levels and cluster-search chunks).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Serves the job: store hit, or admission-controlled build whose
+    /// oracle enters the budgeted store.
+    pub fn build(&self) -> Result<Arc<DistanceOracle>, PipelineError> {
+        self.service.run_oracle_job(self)
+    }
+}
+
+/// A prebuild work item: either job kind, for
+/// [`SpannerService::prebuild`] warm-up lists.
+#[derive(Debug, Clone)]
+pub enum ServiceJob<'s> {
+    /// Warm a spanner artifact.
+    Spanner(SpannerJob<'s>),
+    /// Warm a distance oracle.
+    Oracle(OracleJob<'s>),
+}
+
+impl<'s> From<SpannerJob<'s>> for ServiceJob<'s> {
+    fn from(job: SpannerJob<'s>) -> Self {
+        ServiceJob::Spanner(job)
+    }
+}
+
+impl<'s> From<OracleJob<'s>> for ServiceJob<'s> {
+    fn from(job: OracleJob<'s>) -> Self {
+        ServiceJob::Oracle(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TradeoffParams;
+    use spanner_graph::generators::{self, WeightModel};
+
+    fn graph(seed: u64) -> Graph {
+        generators::connected_erdos_renyi(80, 0.1, WeightModel::Uniform(1, 8), seed)
+    }
+
+    fn alg() -> Algorithm {
+        Algorithm::General(TradeoffParams::new(4, 2))
+    }
+
+    #[test]
+    fn lru_store_evicts_least_recently_used_first() {
+        let store: LruStore<&str, u64> = LruStore::new(100);
+        store.insert_or_get("a", 1, 40);
+        store.insert_or_get("b", 2, 40);
+        assert_eq!(store.get(&"a"), Some(1)); // touch a → b is now LRU
+        store.insert_or_get("c", 3, 40); // over budget → evict b
+        assert_eq!(store.get(&"b"), None, "LRU entry must go first");
+        assert_eq!(store.get(&"a"), Some(1));
+        assert_eq!(store.get(&"c"), Some(3));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.used_bytes(), 80);
+    }
+
+    #[test]
+    fn lru_store_never_retains_an_oversized_entry() {
+        let store: LruStore<&str, u64> = LruStore::new(10);
+        store.insert_or_get("big", 1, 50);
+        assert_eq!(store.len(), 0, "entry larger than the budget is dropped");
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_insert_leaves_warm_entries_untouched() {
+        let store: LruStore<&str, u64> = LruStore::new(100);
+        store.insert_or_get("a", 1, 40);
+        store.insert_or_get("b", 2, 40);
+        assert_eq!(store.insert_or_get("huge", 3, 500), 3, "value handed back");
+        assert_eq!(store.len(), 2, "warm entries survive an uncacheable insert");
+        assert_eq!(store.get(&"a"), Some(1));
+        assert_eq!(store.get(&"b"), Some(2));
+        assert_eq!(store.get(&"huge"), None);
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn lru_store_first_insert_wins() {
+        let store: LruStore<&str, u64> = LruStore::new(usize::MAX);
+        assert_eq!(store.insert_or_get("k", 1, 8), 1);
+        assert_eq!(store.insert_or_get("k", 2, 8), 1, "first insert wins");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let store: LruStore<&str, u64> = LruStore::new(0);
+        store.insert_or_get("k", 1, 8);
+        assert_eq!(store.get(&"k"), None);
+    }
+
+    #[test]
+    fn admission_rejects_when_full_and_releases_on_drop() {
+        let admission = Admission::new(1, OverloadPolicy::Reject);
+        let counters = Counters::default();
+        let permit = admission.acquire(&counters).expect("first slot free");
+        let err = admission.acquire(&counters).expect_err("full → reject");
+        assert!(matches!(
+            err,
+            PipelineError::Overloaded {
+                in_flight: 1,
+                limit: 1
+            }
+        ));
+        drop(permit);
+        assert!(admission.acquire(&counters).is_ok(), "slot freed on drop");
+        assert_eq!(counters.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn admission_queue_blocks_until_a_slot_frees() {
+        let admission = Arc::new(Admission::new(1, OverloadPolicy::Queue));
+        let counters = Arc::new(Counters::default());
+        let permit = admission.acquire(&counters).expect("first slot");
+        let (a, c) = (Arc::clone(&admission), Arc::clone(&counters));
+        let waiter = std::thread::spawn(move || {
+            let _p = a.acquire(&c).expect("queued acquire succeeds");
+        });
+        // Give the waiter time to queue, then free the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(permit);
+        waiter.join().expect("waiter finishes");
+        assert_eq!(counters.queued.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn register_dedupes_identical_content() {
+        let service = SpannerService::new();
+        let g = Arc::new(graph(1));
+        let h1 = service.register(Arc::clone(&g));
+        let h2 = service.register(Arc::clone(&g)); // same Arc
+        let h3 = service.register(graph(1)); // equal content, fresh allocation
+        assert_eq!(h1.version(), 1);
+        assert_eq!(h2.version(), 1);
+        assert_eq!(h3.version(), 1);
+        assert!(Arc::ptr_eq(&h1.graph_arc(), &h3.graph_arc()));
+        assert_eq!(service.registered(), 1);
+    }
+
+    #[test]
+    fn spanner_jobs_hit_the_store_on_repeat() {
+        let service = SpannerService::new();
+        let handle = service.register(graph(2));
+        let first = service.spanner(&handle, alg()).seed(7).run().unwrap();
+        let second = service.spanner(&handle, alg()).seed(7).run().unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let other = service.spanner(&handle, alg()).seed(8).run().unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        let stats = service.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.store_len, 2);
+        assert!(stats.avg_job_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn prebuild_warms_the_store() {
+        let service = SpannerService::new();
+        let handle = service.register(graph(3));
+        let jobs: Vec<ServiceJob<'_>> = vec![
+            service.spanner(&handle, alg()).seed(1).into(),
+            service.oracle(&handle, alg()).seed(1).into(),
+            service
+                .oracle(&handle, alg())
+                .engine(QueryEngine::Sketches { levels: 2 })
+                .seed(1)
+                .into(),
+        ];
+        let results = service.prebuild(jobs);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(service.store_len(), 3);
+        // Live traffic now hits.
+        let before = service.stats().hits;
+        service.oracle(&handle, alg()).seed(1).build().unwrap();
+        assert_eq!(service.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_handles_artifacts() {
+        let service = SpannerService::new();
+        let h1 = service.register(graph(4));
+        let h2 = service.register(graph(5));
+        service.spanner(&h1, alg()).run().unwrap();
+        service.spanner(&h2, alg()).run().unwrap();
+        assert_eq!(service.store_len(), 2);
+        let purged = service.invalidate(&h1);
+        assert_eq!(purged, 1);
+        assert_eq!(service.store_len(), 1);
+        assert_eq!(service.registered(), 1);
+        assert_eq!(service.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn rejected_jobs_surface_a_typed_error() {
+        // max_in_flight = 1 and the only slot taken by... nothing — a
+        // single-threaded submission always finds the slot free, so
+        // drive the admission path through a held permit.
+        let service = SpannerService::with_config(ServiceConfig {
+            max_in_flight: 1,
+            overload: OverloadPolicy::Reject,
+            ..ServiceConfig::default()
+        });
+        let handle = service.register(graph(6));
+        let _held = service.admission.acquire(&service.counters).unwrap();
+        let err = service
+            .spanner(&handle, alg())
+            .run()
+            .expect_err("no slot → reject");
+        assert!(matches!(err, PipelineError::Overloaded { .. }));
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 1);
+        // A rejected job never executed: it is neither a miss nor a
+        // failure, so latency/hit-rate numbers stay truthful.
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn corollary_jobs_differing_only_in_k_never_alias() {
+        use crate::presets::CorollarySetting;
+        let service = SpannerService::new();
+        let handle = service.register(graph(9));
+        let corollary = |k: u32| Algorithm::Corollary {
+            setting: CorollarySetting::Fastest,
+            k,
+        };
+        let a = service
+            .spanner(&handle, corollary(2))
+            .seed(7)
+            .run()
+            .unwrap();
+        let b = service
+            .spanner(&handle, corollary(4))
+            .seed(7)
+            .run()
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "k is part of the artifact identity — k=4 must not be served the k=2 spanner"
+        );
+        assert_eq!(service.stats().hits, 0);
+        assert_eq!(service.store_len(), 2);
+        // Same shape through the oracle path.
+        let oa = service
+            .oracle(&handle, corollary(2))
+            .seed(7)
+            .build()
+            .unwrap();
+        let ob = service
+            .oracle(&handle, corollary(4))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert!(!Arc::ptr_eq(&oa, &ob));
+    }
+
+    #[test]
+    fn queued_job_is_released_by_cancellation() {
+        // One slot, held forever; a queued Queue-policy job with a token
+        // must come back Cancelled instead of blocking until the slot
+        // frees.
+        let service = SpannerService::with_config(ServiceConfig {
+            max_in_flight: 1,
+            overload: OverloadPolicy::Queue,
+            ..ServiceConfig::default()
+        });
+        let handle = service.register(graph(10));
+        let _held = service.admission.acquire(&service.counters).unwrap();
+        let token = CancelToken::new();
+        let job = service.oracle(&handle, alg()).cancel(token.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let err = job.build().expect_err("queued job must observe the token");
+        assert!(matches!(err, PipelineError::Cancelled));
+        canceller.join().unwrap();
+        assert_eq!(service.stats().misses, 0, "never executed");
+    }
+
+    #[test]
+    fn cancelled_job_never_executes() {
+        let service = SpannerService::new();
+        let handle = service.register(graph(7));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = service
+            .spanner(&handle, alg())
+            .cancel(token)
+            .run()
+            .expect_err("fired token → cancelled");
+        assert!(matches!(err, PipelineError::Cancelled));
+    }
+
+    #[test]
+    fn heap_sizes_are_positive_and_monotone() {
+        let small = graph(8);
+        let big = generators::connected_erdos_renyi(200, 0.1, WeightModel::Uniform(1, 8), 8);
+        assert!(small.heap_size() > 0);
+        assert!(big.heap_size() > small.heap_size());
+    }
+}

@@ -74,14 +74,48 @@ pub fn route<T: Record>(
 
     // Deliver deterministically: destination shards ordered by source
     // machine, then by position within the source shard.
-    let mut new_shards: Vec<Vec<T>> = vec![Vec::new(); p];
-    for outbox in outboxes {
-        for (dst, rec) in outbox {
-            new_shards[dst].push(rec);
-        }
-    }
+    let new_shards = deliver(p, outboxes);
     sys.check_all_storage(&new_shards, op)?;
     Ok(Dist::from_shards(new_shards))
+}
+
+/// The delivery step shared by [`route`] / [`route_with`]: moves every
+/// `(destination, record)` pair into its destination shard, preserving
+/// (source machine, source position) order within each shard.
+///
+/// Runs in two parallel passes — per-source bucketing, then
+/// per-destination concatenation over the (sequentially) transposed
+/// buckets — so the actual record movement parallelises while the
+/// output stays bit-identical at every thread count (both passes use
+/// the shim's order-preserving collect; the transpose only moves `Vec`
+/// headers).
+fn deliver<T: Record>(p: usize, outboxes: Vec<Vec<(usize, T)>>) -> Vec<Vec<T>> {
+    let buckets: Vec<Vec<Vec<T>>> = outboxes
+        .into_par_iter()
+        .map(|outbox| {
+            let mut per_dst: Vec<Vec<T>> = vec![Vec::new(); p];
+            for (dst, rec) in outbox {
+                per_dst[dst].push(rec);
+            }
+            per_dst
+        })
+        .collect();
+    let mut transposed: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    for per_dst in buckets {
+        for (dst, bucket) in per_dst.into_iter().enumerate() {
+            transposed[dst].push(bucket);
+        }
+    }
+    transposed
+        .into_par_iter()
+        .map(|parts| {
+            let mut shard = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                shard.extend(part);
+            }
+            shard
+        })
+        .collect()
 }
 
 /// One-round all-to-all with *precomputed* destinations: `dests[m][i]` is
@@ -134,12 +168,18 @@ pub fn route_with<T: Record>(
     let total: u64 = sent.iter().map(|&x| x as u64).sum();
     sys.charge_round(op, max_sent, max_recv, total)?;
 
-    let mut new_shards: Vec<Vec<T>> = vec![Vec::new(); p];
-    for (src, shard) in shards.into_iter().enumerate() {
-        for (i, rec) in shard.into_iter().enumerate() {
-            new_shards[dests[src][i]].push(rec);
-        }
-    }
+    let outboxes: Vec<Vec<(usize, T)>> = shards
+        .into_par_iter()
+        .enumerate()
+        .map(|(src, shard)| {
+            shard
+                .into_iter()
+                .enumerate()
+                .map(|(i, rec)| (dests[src][i], rec))
+                .collect()
+        })
+        .collect();
+    let new_shards = deliver(p, outboxes);
     sys.check_all_storage(&new_shards, op)?;
     Ok(Dist::from_shards(new_shards))
 }

@@ -1,0 +1,163 @@
+//! Scenario: the **serving tier** — one long-lived `SpannerService`
+//! in front of heavy query traffic from many concurrent users.
+//!
+//! The paper's headline application (§1.2, §7) is build-once /
+//! query-many: an expensive parallel preprocessing, then millions of
+//! cheap approximate-distance queries. This example runs that shape end
+//! to end:
+//!
+//! 1. register two workloads (a road-style grid, a social-style
+//!    power-law graph) — handles are `Arc`'d, fingerprint-deduped and
+//!    versioned;
+//! 2. `prebuild` warm oracles into the memory-budgeted artifact store;
+//! 3. serve query batches from several client threads — all traffic
+//!    hits the store, under admission control;
+//! 4. re-register a mutated road network (a closed bridge): the version
+//!    bump invalidates its artifacts, and the next job transparently
+//!    rebuilds against the new topology;
+//! 5. print the `ServiceStats` counters a dashboard would scrape.
+//!
+//! ```sh
+//! cargo run --release --example service_frontend
+//! ```
+
+use std::time::Instant;
+
+use mpc_spanners::graph::edge::Edge;
+use mpc_spanners::graph::generators::{chung_lu_power_law, grid, WeightModel};
+use mpc_spanners::graph::Graph;
+use mpc_spanners::pipeline::{
+    Algorithm, CorollarySetting, OverloadPolicy, QueryEngine, ServiceConfig, ServiceJob,
+    SpannerService,
+};
+
+fn apsp_algorithm() -> Algorithm {
+    Algorithm::Corollary {
+        setting: CorollarySetting::ApspRegime,
+        k: 0, // ignored: ApspRegime derives k = ⌈log n⌉
+    }
+}
+
+fn main() {
+    let service = SpannerService::with_config(ServiceConfig {
+        store_budget_bytes: 64 << 20,
+        max_in_flight: 2,
+        overload: OverloadPolicy::Queue,
+    });
+
+    // -- 1. register the workloads ------------------------------------
+    let road = grid(40, 40, WeightModel::Uniform(1, 9), 7);
+    let social = chung_lu_power_law(2000, 12.0, 2.5, WeightModel::Uniform(1, 10), 99);
+    let road_handle = service.register(road);
+    let social_handle = service.register(social);
+    println!(
+        "registered {} graphs: road (n={}, m={}), social (n={}, m={})",
+        service.registered(),
+        road_handle.graph().n(),
+        road_handle.graph().m(),
+        social_handle.graph().n(),
+        social_handle.graph().m(),
+    );
+
+    // -- 2. warm-up ---------------------------------------------------
+    let warmup: Vec<ServiceJob<'_>> = vec![
+        service
+            .oracle(&road_handle, apsp_algorithm())
+            .seed(7)
+            .into(),
+        service
+            .oracle(&social_handle, apsp_algorithm())
+            .engine(QueryEngine::Sketches { levels: 2 })
+            .seed(7)
+            .into(),
+    ];
+    let t0 = Instant::now();
+    let warmed = service.prebuild(warmup);
+    assert!(warmed.iter().all(Result::is_ok), "warm-up builds succeed");
+    println!(
+        "prebuilt {} oracles in {:.2?} ({} artifacts, {:.1} MiB in store)",
+        warmed.len(),
+        t0.elapsed(),
+        service.store_len(),
+        service.store_used_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    // -- 3. serve concurrent traffic ----------------------------------
+    let clients = 6usize;
+    let batches_per_client = 20usize;
+    let queries_per_batch = 256usize;
+    let t0 = Instant::now();
+    let service_ref = &service;
+    let (road_ref, social_ref) = (&road_handle, &social_handle);
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            scope.spawn(move || {
+                for b in 0..batches_per_client {
+                    let (handle, engine, n) = if (client + b) % 2 == 0 {
+                        (road_ref, QueryEngine::Dijkstra, road_ref.graph().n() as u32)
+                    } else {
+                        (
+                            social_ref,
+                            QueryEngine::Sketches { levels: 2 },
+                            social_ref.graph().n() as u32,
+                        )
+                    };
+                    let oracle = service_ref
+                        .oracle(handle, apsp_algorithm())
+                        .engine(engine)
+                        .seed(7)
+                        .build()
+                        .expect("served from the store");
+                    let queries: Vec<(u32, u32)> = (0..queries_per_batch as u32)
+                        .map(|i| {
+                            let x = i.wrapping_mul(2654435761) ^ client as u32;
+                            (x % n, (x >> 8) % n)
+                        })
+                        .collect();
+                    let answers = oracle.query_batch(&queries);
+                    assert_eq!(answers.len(), queries.len());
+                }
+            });
+        }
+    });
+    let served = clients * batches_per_client * queries_per_batch;
+    let elapsed = t0.elapsed();
+    println!(
+        "served {served} queries from {clients} clients in {elapsed:.2?} \
+         ({:.0} queries/s)",
+        served as f64 / elapsed.as_secs_f64(),
+    );
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 0, "Queue policy sheds nothing");
+    assert!(stats.hits >= (clients * batches_per_client) as u64 - 2);
+
+    // -- 4. topology change: re-register a mutated road network -------
+    // Close one road (re-weight an edge heavily) and re-register under
+    // the same registry key — the "same logical graph, new content"
+    // path: the version bump invalidates every artifact of the old
+    // version, so nothing stale can ever be served.
+    let old = road_handle.graph();
+    let mutated = Graph::from_edges(
+        old.n(),
+        old.edges().iter().enumerate().map(|(i, e)| {
+            let w = if i == 0 { 1_000 } else { e.w };
+            Edge::new(e.u, e.v, w)
+        }),
+    );
+    let new_road = service.register_keyed(road_handle.fingerprint(), mutated);
+    println!(
+        "re-registered road network: version {} → {} ({} artifacts invalidated so far)",
+        road_handle.version(),
+        new_road.version(),
+        service.stats().invalidations,
+    );
+    let rebuilt = service
+        .oracle(&new_road, apsp_algorithm())
+        .seed(7)
+        .build()
+        .expect("rebuild against new topology");
+    assert!(rebuilt.stretch_bound() >= 1.0);
+
+    // -- 5. the dashboard line ----------------------------------------
+    println!("service stats: {}", service.stats().summary());
+}

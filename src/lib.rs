@@ -20,6 +20,19 @@
 //! composed `σ·(2λ−1)` guarantee. The per-model free functions remain
 //! available as shims with their historical signatures.
 //!
+//! **Serving long-lived traffic? Go one level up to
+//! [`pipeline::service`]**: a [`pipeline::SpannerService`] turns the
+//! one-shot flow into register-once/serve-many —
+//! [`pipeline::SpannerService::register`] a graph for an `Arc`'d,
+//! fingerprint-deduped, *versioned* [`pipeline::GraphHandle`], then
+//! submit handle-based jobs ([`pipeline::SpannerService::spanner`],
+//! [`pipeline::SpannerService::oracle`]) that are answered from a
+//! memory-budgeted LRU artifact store under admission control, with
+//! warm-up ([`pipeline::SpannerService::prebuild`]) and
+//! [`pipeline::ServiceStats`] counters. The one-shot request types are
+//! thin shims over an anonymous single-use registration on that layer,
+//! so both flows produce bit-identical artifacts at equal seeds.
+//!
 //! This facade crate re-exports the public surface of the workspace:
 //!
 //! * [`pipeline`] — the unified request/plan/report API (start here);

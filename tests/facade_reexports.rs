@@ -74,3 +74,23 @@ fn pipeline_reexport_resolves_and_runs() {
     let mpc = request.on(Backend::mpc()).run().expect("mpc run");
     assert_eq!(mpc.result.edges, report.result.edges);
 }
+
+/// `mpc_spanners::pipeline::service` (and its re-exported names at the
+/// `pipeline` root) resolve through the facade and serve a job — the
+/// long-lived front door the crate-root rustdoc advertises.
+#[test]
+fn service_reexport_resolves_and_serves() {
+    use mpc_spanners::pipeline::{Algorithm, ServiceConfig, SpannerService};
+
+    let g = connected_erdos_renyi(60, 0.1, WeightModel::Uniform(1, 8), 5);
+    let service: spanner_core::pipeline::service::SpannerService =
+        SpannerService::with_config(ServiceConfig::default());
+    let handle = service.register(g);
+    let report = service
+        .spanner(&handle, Algorithm::General(TradeoffParams::new(4, 2)))
+        .seed(3)
+        .run()
+        .expect("job runs");
+    assert!(verify_spanner(handle.graph(), &report.result.edges).all_edges_spanned);
+    assert_eq!(service.stats().misses, 1);
+}

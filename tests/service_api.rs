@@ -1,0 +1,421 @@
+//! The long-lived serving API's contract:
+//!
+//! 1. **Shims are pinned** — the one-shot `SpannerRequest` /
+//!    `DistanceRequest` calls are thin shims over the service's
+//!    anonymous path and produce **bit-identical** artifacts to
+//!    handle-based jobs at fixed seeds, on every backend.
+//! 2. **Concurrency is deterministic per request** — N threads
+//!    hammering one `SpannerService` each observe exactly the artifact
+//!    their request determines, store hits or not.
+//! 3. **The store is budgeted** — an over-budget store evicts
+//!    least-recently-used artifacts and re-serves *recomputed, correct*
+//!    answers afterwards.
+//! 4. **Versioning defeats stale serving** — re-registering different
+//!    content under an equal registry key (a fingerprint collision or a
+//!    mutated graph) bumps the version and invalidates dependent
+//!    artifacts; the new handle can never be served the old oracle.
+//! 5. **Builds are cooperatively interruptible** — a token fired
+//!    mid-batch stops in-flight oracle builds between Thorup–Zwick
+//!    levels / cluster chunks instead of running them to completion.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpc_spanners::core::TradeoffParams;
+use mpc_spanners::graph::edge::{Distance, Edge, EdgeId};
+use mpc_spanners::graph::generators::{connected_erdos_renyi, Family, WeightModel};
+use mpc_spanners::graph::Graph;
+use mpc_spanners::pipeline::{
+    Algorithm, Backend, BuildGuard, CancelToken, DistanceBatch, DistanceRequest, DistanceSketches,
+    HeapSize, OverloadPolicy, PipelineError, QueryEngine, ServiceConfig, ServiceJob,
+    SpannerRequest, SpannerService,
+};
+
+fn params() -> TradeoffParams {
+    TradeoffParams::new(4, 2)
+}
+
+fn alg() -> Algorithm {
+    Algorithm::General(params())
+}
+
+fn sample_queries(n: u32) -> Vec<(u32, u32)> {
+    (0..64u32)
+        .map(|i| ((i * 7) % n, (i * 31 + 3) % n))
+        .collect()
+}
+
+#[test]
+fn one_shot_shims_are_bit_identical_to_handle_based_jobs() {
+    let g = connected_erdos_renyi(100, 0.08, WeightModel::Uniform(1, 16), 3);
+    let service = SpannerService::new();
+    let handle = service.register(g.clone());
+
+    for backend in [
+        Backend::Sequential,
+        Backend::mpc(),
+        Backend::congested_clique(),
+        Backend::Pram,
+        Backend::Streaming,
+    ] {
+        for seed in [0u64, 7] {
+            let legacy = SpannerRequest::new(&g, alg())
+                .on(backend)
+                .seed(seed)
+                .run()
+                .expect("one-shot run");
+            let job = service
+                .spanner(&handle, alg())
+                .on(backend)
+                .seed(seed)
+                .run()
+                .expect("handle-based run");
+            assert_eq!(
+                legacy.result.edges,
+                job.result.edges,
+                "{} seed {seed}: one-shot and handle-based spanners diverged",
+                backend.name()
+            );
+            assert_eq!(legacy.stats.model_rounds(), job.stats.model_rounds());
+            assert_eq!(legacy.plan.stretch_bound, job.plan.stretch_bound);
+            assert_eq!(legacy.result.iterations, job.result.iterations);
+        }
+    }
+
+    let queries = sample_queries(g.n() as u32);
+    for engine in [QueryEngine::Dijkstra, QueryEngine::Sketches { levels: 2 }] {
+        let legacy = DistanceRequest::new(&g, alg())
+            .engine(engine)
+            .seed(11)
+            .build()
+            .expect("one-shot build");
+        let job = service
+            .oracle(&handle, alg())
+            .engine(engine)
+            .seed(11)
+            .build()
+            .expect("handle-based build");
+        assert_eq!(legacy.spanner_edges(), job.spanner_edges());
+        assert_eq!(legacy.stretch_bound(), job.stretch_bound());
+        assert_eq!(
+            legacy.query_batch(&queries),
+            job.query_batch(&queries),
+            "{engine:?}: one-shot and handle-based oracles answer differently"
+        );
+    }
+}
+
+#[test]
+fn concurrent_submissions_against_one_service_are_deterministic_per_request() {
+    let g = connected_erdos_renyi(90, 0.09, WeightModel::Uniform(1, 8), 5);
+    let queries = sample_queries(g.n() as u32);
+
+    // Ground truth through the one-shot API, per seed.
+    let expected_edges: Vec<Vec<EdgeId>> = (0..3u64)
+        .map(|s| {
+            SpannerRequest::new(&g, alg())
+                .seed(s)
+                .run()
+                .unwrap()
+                .result
+                .edges
+        })
+        .collect();
+    let expected_answers: Vec<Vec<Distance>> = (0..3u64)
+        .map(|s| {
+            DistanceRequest::new(&g, alg())
+                .engine(QueryEngine::Sketches { levels: 2 })
+                .seed(s)
+                .build()
+                .unwrap()
+                .query_batch(&queries)
+        })
+        .collect();
+
+    let service = SpannerService::with_config(ServiceConfig {
+        max_in_flight: 2,
+        overload: OverloadPolicy::Queue,
+        ..ServiceConfig::default()
+    });
+    let handle = service.register(g);
+    let (service, handle, queries) = (&service, &handle, &queries);
+    let (expected_edges, expected_answers) = (&expected_edges, &expected_answers);
+
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            scope.spawn(move || {
+                for j in 0..6u64 {
+                    let seed = (t + j) % 3;
+                    let report = service
+                        .spanner(handle, alg())
+                        .seed(seed)
+                        .run()
+                        .expect("spanner job");
+                    assert_eq!(
+                        report.result.edges, expected_edges[seed as usize],
+                        "thread {t}, job {j}: non-deterministic spanner for seed {seed}"
+                    );
+                    let oracle = service
+                        .oracle(handle, alg())
+                        .engine(QueryEngine::Sketches { levels: 2 })
+                        .seed(seed)
+                        .build()
+                        .expect("oracle job");
+                    assert_eq!(
+                        oracle.query_batch(queries),
+                        expected_answers[seed as usize],
+                        "thread {t}, job {j}: non-deterministic oracle for seed {seed}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.hits + stats.misses, 8 * 6 * 2, "every job accounted");
+    // 3 spanner keys + 3 oracle keys; concurrent first builds may race
+    // (first insert wins), so misses is at least 6 but hits dominate.
+    assert!(stats.misses >= 6);
+    assert!(stats.hits > stats.misses, "warm traffic must mostly hit");
+    assert_eq!(service.store_len(), 6);
+    assert_eq!(stats.rejected, 0, "Queue policy never rejects");
+}
+
+#[test]
+fn over_budget_store_evicts_lru_and_reserves_recomputed_answers() {
+    let g = connected_erdos_renyi(80, 0.1, WeightModel::Uniform(1, 8), 9);
+    let queries = sample_queries(g.n() as u32);
+
+    // Size the budget from real artifacts: room for either oracle alone,
+    // never both.
+    let size_of = |seed: u64| {
+        DistanceRequest::new(&g, alg())
+            .seed(seed)
+            .build()
+            .unwrap()
+            .heap_size()
+    };
+    let budget = size_of(1).max(size_of(2));
+    let service = SpannerService::with_config(ServiceConfig {
+        store_budget_bytes: budget,
+        ..ServiceConfig::default()
+    });
+    let handle = service.register(g);
+
+    let a1 = service.oracle(&handle, alg()).seed(1).build().unwrap();
+    assert_eq!(service.store_len(), 1);
+    let _b = service.oracle(&handle, alg()).seed(2).build().unwrap();
+    assert_eq!(service.store_len(), 1, "budget holds one oracle");
+    assert!(service.stats().evictions >= 1, "inserting B must evict A");
+
+    // A was evicted: re-serving it recomputes — a different allocation
+    // with identical answers.
+    let a2 = service.oracle(&handle, alg()).seed(1).build().unwrap();
+    assert!(
+        !Arc::ptr_eq(&a1, &a2),
+        "evicted artifact must be recomputed, not resurrected"
+    );
+    assert_eq!(a1.query_batch(&queries), a2.query_batch(&queries));
+    let stats = service.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 3);
+    assert!(service.store_used_bytes() <= budget);
+}
+
+#[test]
+fn reregistering_mutated_content_under_an_equal_key_never_serves_stale_oracles() {
+    // A path graph and a mutated copy: identical shape, one bridge edge
+    // re-weighted, so true distances across the bridge differ.
+    let n = 24u32;
+    let path = |bridge_weight: u64| -> Graph {
+        Graph::from_edges(
+            n as usize,
+            (0..n - 1).map(|v| Edge::new(v, v + 1, if v == 10 { bridge_weight } else { 1 })),
+        )
+    };
+    let g1 = path(1);
+    let g2 = path(9);
+    assert_ne!(
+        g1.fingerprint(),
+        g2.fingerprint(),
+        "sanity: contents differ"
+    );
+
+    // Force both under ONE registry key — the fingerprint-collision
+    // scenario: the registry must fall back to content comparison and
+    // version the re-registration instead of aliasing.
+    let key = 0x0C01_11DE_u64;
+    let service = SpannerService::new();
+    let h1 = service.register_keyed(key, g1.clone());
+    let o1 = service.oracle(&h1, alg()).seed(4).build().unwrap();
+    assert_eq!(o1.query(0, n - 1), 23, "unit-weight path end to end");
+
+    let h2 = service.register_keyed(key, g2.clone());
+    assert_eq!(h1.fingerprint(), h2.fingerprint(), "same registry key");
+    assert_eq!(h1.version(), 1);
+    assert_eq!(h2.version(), 2, "different content must bump the version");
+    assert!(
+        service.stats().invalidations >= 1,
+        "old version's artifacts must be invalidated"
+    );
+
+    // The new handle must be served a fresh oracle for g2 — the answer a
+    // direct one-shot build on g2 gives — never g1's cached one.
+    let o2 = service.oracle(&h2, alg()).seed(4).build().unwrap();
+    let direct = DistanceRequest::new(&g2, alg()).seed(4).build().unwrap();
+    assert_eq!(o2.query(0, n - 1), direct.query(0, n - 1));
+    assert_eq!(
+        o2.query(0, n - 1),
+        31,
+        "re-weighted bridge must be visible through the new handle"
+    );
+    assert_ne!(o1.query(0, n - 1), o2.query(0, n - 1));
+
+    // The old handle keeps answering for the graph it pins (its version
+    // is simply no longer shared).
+    let o1_again = service.oracle(&h1, alg()).seed(4).build().unwrap();
+    assert_eq!(o1_again.query(0, n - 1), 23);
+}
+
+#[test]
+fn prebuild_warms_the_store_for_admission_controlled_traffic() {
+    let g = connected_erdos_renyi(70, 0.1, WeightModel::Uniform(1, 8), 13);
+    let service = SpannerService::with_config(ServiceConfig {
+        max_in_flight: 1,
+        overload: OverloadPolicy::Queue,
+        ..ServiceConfig::default()
+    });
+    let handle = service.register(g);
+    let warmup: Vec<ServiceJob<'_>> = vec![
+        service.oracle(&handle, alg()).seed(1).into(),
+        service
+            .oracle(&handle, alg())
+            .engine(QueryEngine::Sketches { levels: 2 })
+            .seed(1)
+            .into(),
+        service.spanner(&handle, alg()).seed(1).into(),
+    ];
+    assert!(service.prebuild(warmup).iter().all(Result::is_ok));
+    assert_eq!(service.store_len(), 3);
+
+    let misses_after_warmup = service.stats().misses;
+    let (service, handle) = (&service, &handle);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    service
+                        .oracle(handle, alg())
+                        .seed(1)
+                        .build()
+                        .expect("warm hit");
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(
+        stats.misses, misses_after_warmup,
+        "warm traffic never executes"
+    );
+    assert_eq!(stats.hits, 12);
+}
+
+#[test]
+fn guarded_preprocessing_observes_tokens_and_deadlines_mid_machinery() {
+    let g = connected_erdos_renyi(60, 0.1, WeightModel::Uniform(1, 8), 1);
+    let fired = CancelToken::new();
+    fired.cancel();
+    let err = DistanceSketches::preprocess_guarded(
+        &g,
+        2,
+        1,
+        1.0,
+        &BuildGuard::new("sketches").with_cancel(fired),
+    )
+    .expect_err("fired token must interrupt preprocessing");
+    assert!(matches!(err, PipelineError::Cancelled));
+
+    let err = DistanceSketches::preprocess_guarded(
+        &g,
+        2,
+        1,
+        1.0,
+        &BuildGuard::new("sketches").with_deadline(Duration::ZERO),
+    )
+    .expect_err("expired deadline must interrupt preprocessing");
+    assert!(matches!(err, PipelineError::DeadlineExceeded { .. }));
+
+    // An unbounded guard changes nothing: bit-identical to the plain
+    // entry point.
+    let guarded =
+        DistanceSketches::preprocess_guarded(&g, 2, 5, 1.0, &BuildGuard::new("sketches")).unwrap();
+    let plain = DistanceSketches::preprocess(&g, 2, 5);
+    for v in 0..g.n() {
+        assert_eq!(guarded.sketches[v].pivots, plain.sketches[v].pivots);
+        assert_eq!(guarded.sketches[v].bunch, plain.sketches[v].bunch);
+    }
+}
+
+#[test]
+fn cancelled_mid_batch_build_stops_early() {
+    let params = TradeoffParams::new(3, 1);
+    let algorithm = Algorithm::General(params);
+    let engine = QueryEngine::Sketches { levels: 3 };
+
+    // Escalate the workload until one full build takes long enough that
+    // a mid-build cancellation is unambiguous on this machine.
+    let mut workload: Option<(Graph, Duration)> = None;
+    for n in [600usize, 1200, 2400, 4800] {
+        let g = Family::ErdosRenyi { n, avg_deg: 6.0 }.generate(WeightModel::Uniform(1, 8), 0xCA);
+        let started = Instant::now();
+        DistanceRequest::new(&g, algorithm)
+            .engine(engine)
+            .seed(1)
+            .build()
+            .expect("full build");
+        let full = started.elapsed();
+        workload = Some((g, full));
+        if full >= Duration::from_millis(200) {
+            break;
+        }
+    }
+    let (g, full) = workload.expect("at least one workload measured");
+    let timing_reliable = full >= Duration::from_millis(200);
+
+    // Three distinct builds; the token fires while they are in flight.
+    let batch = DistanceBatch::new()
+        .with(DistanceRequest::new(&g, algorithm).engine(engine).seed(2))
+        .with(DistanceRequest::new(&g, algorithm).engine(engine).seed(3))
+        .with(DistanceRequest::new(&g, algorithm).engine(engine).seed(4));
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        let delay = (full / 8).max(Duration::from_millis(5));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            token.cancel();
+        })
+    };
+    let started = Instant::now();
+    let results = batch.build_with(&token);
+    let elapsed = started.elapsed();
+    canceller.join().expect("canceller finishes");
+
+    for (i, result) in results.iter().enumerate() {
+        assert!(
+            matches!(result, Err(PipelineError::Cancelled)),
+            "slot {i}: expected Cancelled, got {result:?}"
+        );
+    }
+    if timing_reliable {
+        // Had any in-flight build run to completion it alone would have
+        // taken ≥ `full`; stopping between levels/chunks must come in
+        // well under that.
+        assert!(
+            elapsed < full.mul_f64(0.75),
+            "cancelled batch took {elapsed:?}, full build takes {full:?} — \
+             in-flight builds did not stop early"
+        );
+    }
+}
