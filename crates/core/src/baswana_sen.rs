@@ -28,6 +28,7 @@ use spanner_graph::edge::{EdgeId, Weight};
 use spanner_graph::Graph;
 
 use crate::coins::cluster_coin;
+use crate::pipeline::{BuildGuard, PipelineError};
 use crate::result::SpannerResult;
 
 /// Classic Baswana–Sen `(2k−1)`-spanner on a weighted graph.
@@ -49,12 +50,25 @@ pub fn baswana_sen(g: &Graph, k: u32, seed: u64) -> SpannerResult {
 
 /// The implementation behind [`baswana_sen`] (the pipeline's
 /// sequential `Algorithm::BaswanaSen` driver; also used as a black box
-/// by Section 3 and Appendix B).
+/// by Section 3 and Appendix B, which run it uninterruptible).
 pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
+    build_guarded(g, k, seed, &BuildGuard::new(format!("baswana-sen(k={k})")))
+        .expect("an unbounded guard never interrupts")
+}
+
+/// [`build`] under a [`BuildGuard`], checked before every grow
+/// iteration and before Phase 2 — the preemptible variant the service
+/// path runs.
+pub(crate) fn build_guarded(
+    g: &Graph,
+    k: u32,
+    seed: u64,
+    guard: &BuildGuard,
+) -> Result<SpannerResult, PipelineError> {
     debug_assert!(k >= 1, "validated by plan()");
     let algorithm = format!("baswana-sen(k={k})");
     if k == 1 || g.m() == 0 {
-        return SpannerResult::whole_graph(g, algorithm);
+        return Ok(SpannerResult::whole_graph(g, algorithm));
     }
 
     let n = g.n();
@@ -73,6 +87,7 @@ pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
     let mut spanner: Vec<EdgeId> = Vec::new();
 
     for iter in 1..=k.saturating_sub(1) {
+        guard.check()?;
         // Sample current clusters. (Epoch is fixed to 1: Baswana–Sen is
         // the one-epoch schedule, and this matches the engine's coins for
         // t = k so the two implementations are comparable.)
@@ -166,6 +181,7 @@ pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
     }
 
     // Phase 2: min edge per (vertex, neighbouring cluster).
+    guard.check()?;
     let mut cand: Vec<(u32, u32, Weight, EdgeId)> = Vec::new();
     for &(u, v, w, id) in &live {
         let cu = cluster_of[u as usize].expect("clustered");
@@ -190,7 +206,7 @@ pub(crate) fn build(g: &Graph, k: u32, seed: u64) -> SpannerResult {
         decomposition: None,
     };
     result.canonicalise();
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use spanner_graph::Graph;
 
 use crate::engine::Engine;
 use crate::params::TradeoffParams;
-use crate::pipeline::{Algorithm, Batch, SpannerRequest};
+use crate::pipeline::{Algorithm, Batch, BuildGuard, PipelineError, SpannerRequest};
 use crate::result::SpannerResult;
 
 /// Options shared by the engine-based constructions.
@@ -51,15 +51,21 @@ pub fn general_spanner(
 
 /// The engine loop behind [`general_spanner`] — the pipeline's
 /// sequential driver for every engine-schedule algorithm.
+///
+/// The guard is checked before every grow iteration and before
+/// Phase 2, so a fired [`crate::pipeline::CancelToken`] or an expired
+/// deadline aborts the build within one iteration of work instead of
+/// running the whole schedule.
 pub(crate) fn run_general(
     g: &Graph,
     params: TradeoffParams,
     seed: u64,
     opts: BuildOptions,
-) -> SpannerResult {
+    guard: &BuildGuard,
+) -> Result<SpannerResult, PipelineError> {
     let algorithm = format!("general(k={},t={})", params.k, params.t);
     if params.k == 1 || g.m() == 0 {
-        return SpannerResult::whole_graph(g, algorithm);
+        return Ok(SpannerResult::whole_graph(g, algorithm));
     }
 
     let n = g.n();
@@ -70,6 +76,7 @@ pub(crate) fn run_general(
     for epoch in 1..=l {
         let p = params.sampling_probability(n, epoch);
         for iter in 1..=params.t {
+            guard.check()?;
             engine.run_iteration(p, epoch, iter);
         }
         engine.contract();
@@ -77,8 +84,9 @@ pub(crate) fn run_general(
             break;
         }
     }
+    guard.check()?;
     engine.phase2();
-    engine.finish(algorithm, params.stretch_bound())
+    Ok(engine.finish(algorithm, params.stretch_bound()))
 }
 
 /// Convenience wrapper: the `t = log k` configuration used by the

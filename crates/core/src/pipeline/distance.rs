@@ -114,6 +114,26 @@ impl BuildGuard {
         self.started.elapsed()
     }
 
+    /// The attached token, if any.
+    pub(crate) fn cancel_token(&self) -> Option<&super::CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Time left before the deadline expires (zero once it has).
+    pub(crate) fn deadline_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|deadline| deadline.saturating_sub(self.started.elapsed()))
+    }
+
+    /// Subscribes a condvar-style waiter to the guard's token (no-op
+    /// without one); the subscription ends when the handle drops.
+    pub(crate) fn subscribe_waiter(
+        &self,
+        waiter: std::sync::Arc<dyn super::CancelWaiter>,
+    ) -> super::CancelSubscription<'_> {
+        super::CancelSubscription::new(self.cancel_token(), waiter)
+    }
+
     /// Errs with [`PipelineError::Cancelled`] /
     /// [`PipelineError::DeadlineExceeded`] once the token has fired or
     /// the deadline has passed. Both conditions are monotone, so a
@@ -657,7 +677,9 @@ impl<'g> DistanceRequest<'g> {
         let plan = self.plan()?;
         let started = Instant::now();
         guard.check()?;
-        let report = self.spanner.run_uncached()?;
+        // The guard rides into the spanner construction itself: engine
+        // grow iterations are preemptible, not just the sketch phases.
+        let report = self.spanner.run_guarded(guard)?;
         guard.check()?;
         let result = report.result;
 

@@ -78,7 +78,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -94,7 +94,9 @@ use crate::unweighted_ok::UnweightedOkConfig;
 pub mod clique;
 pub mod distance;
 pub mod pram_cost;
+pub mod queue;
 pub mod service;
+pub mod shard;
 
 pub use clique::CcNetwork;
 pub use distance::{
@@ -102,10 +104,14 @@ pub use distance::{
     DistanceSketches, OracleCache, OracleKey, QueryEngine, VertexSketch,
 };
 pub use pram_cost::{log_star, PramTracker};
+pub use queue::{
+    ClientId, JobId, JobOutput, JobQueue, JobSpec, JobStatus, Priority, QueueConfig, QueueStats,
+};
 pub use service::{
     GraphHandle, HeapSize, LruStore, OracleJob, OverloadPolicy, ServiceConfig, ServiceJob,
     ServiceStats, SpannerJob, SpannerService,
 };
+pub use shard::ShardedService;
 
 // The request vocabulary in one import: algorithms are parameterised by
 // these types, so the pipeline re-exports them.
@@ -482,13 +488,42 @@ impl From<MpcError> for PipelineError {
 }
 
 /// A shared, cloneable cancellation flag for batched serving.
-/// Cancellation is *cooperative*: requests check the token when they are
-/// about to start (see [`Batch::run_with`] /
-/// [`distance::DistanceBatch::build_with`]); an execution already in
-/// flight runs to completion.
-#[derive(Debug, Clone, Default)]
+/// Cancellation is *cooperative*: requests check the token at their
+/// checkpoints (see [`Batch::run_with`] /
+/// [`distance::DistanceBatch::build_with`] and the service's
+/// [`distance::BuildGuard`]); an execution between checkpoints runs to
+/// the next one.
+///
+/// Besides the flag, a token carries a waiter list: a thread parked on
+/// a condvar (a queued job waiting for an admission slot, say) can
+/// [`subscribe`](CancelToken::subscribe) its wakeup, and
+/// [`CancelToken::cancel`] notifies every subscriber — so cancellation
+/// releases blocked waiters immediately instead of on a poll interval.
+#[derive(Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Default)]
+struct TokenInner {
+    fired: AtomicBool,
+    waiters: Mutex<Vec<Arc<dyn CancelWaiter>>>,
+}
+
+/// Internal: something parked on a condvar that must be woken when a
+/// token it subscribed to fires. Implementations take the same lock the
+/// waiter holds between its last flag check and its `wait()`, so the
+/// notification can never fall into that window and be lost.
+pub(crate) trait CancelWaiter: Send + Sync {
+    fn wake(&self);
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("fired", &self.is_cancelled())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CancelToken {
@@ -498,14 +533,72 @@ impl CancelToken {
     }
 
     /// Fires the token: every request observing it afterwards fails with
-    /// [`PipelineError::Cancelled`].
+    /// [`PipelineError::Cancelled`], and every subscribed waiter is
+    /// woken.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
+        self.inner.fired.store(true, Ordering::SeqCst);
+        // Drain under the lock, wake outside it: `wake()` takes the
+        // waiter's own lock, and a subscriber may hold that lock while
+        // calling `subscribe` — never hold both here.
+        let waiters: Vec<Arc<dyn CancelWaiter>> = {
+            let mut list = self.inner.waiters.lock().expect("token poisoned");
+            list.drain(..).collect()
+        };
+        for waiter in waiters {
+            waiter.wake();
+        }
     }
 
     /// Whether the token has fired.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+        self.inner.fired.load(Ordering::SeqCst)
+    }
+
+    /// Registers a waiter to be woken by [`CancelToken::cancel`]. The
+    /// caller must still re-check [`CancelToken::is_cancelled`] after
+    /// subscribing — a token fired *before* the subscription has
+    /// already drained its list.
+    pub(crate) fn subscribe(&self, waiter: Arc<dyn CancelWaiter>) {
+        self.inner
+            .waiters
+            .lock()
+            .expect("token poisoned")
+            .push(waiter);
+    }
+
+    /// Removes a previously subscribed waiter (by identity).
+    pub(crate) fn unsubscribe(&self, waiter: &Arc<dyn CancelWaiter>) {
+        let target = Arc::as_ptr(waiter) as *const ();
+        self.inner
+            .waiters
+            .lock()
+            .expect("token poisoned")
+            .retain(|w| Arc::as_ptr(w) as *const () != target);
+    }
+}
+
+/// Internal RAII handle for a [`CancelToken::subscribe`] registration:
+/// dropping it unsubscribes the waiter, so a finished (or errored)
+/// acquisition never leaks list entries on a long-lived token.
+pub(crate) struct CancelSubscription<'t> {
+    token: Option<&'t CancelToken>,
+    waiter: Arc<dyn CancelWaiter>,
+}
+
+impl<'t> CancelSubscription<'t> {
+    pub(crate) fn new(token: Option<&'t CancelToken>, waiter: Arc<dyn CancelWaiter>) -> Self {
+        if let Some(token) = token {
+            token.subscribe(Arc::clone(&waiter));
+        }
+        CancelSubscription { token, waiter }
+    }
+}
+
+impl Drop for CancelSubscription<'_> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            token.unsubscribe(&self.waiter);
+        }
     }
 }
 
@@ -965,11 +1058,34 @@ impl<'g> SpannerRequest<'g> {
     /// The raw execution path (plan → execute → deadline →
     /// verification), shared by the anonymous shim above and by
     /// [`SpannerJob`]s, which add registry/store/admission around it.
+    /// The request's own deadline/cancellation settings become the
+    /// guard, so one-shot runs get the same mid-build checkpoints as
+    /// service jobs.
     pub(crate) fn run_uncached(&self) -> Result<RunReport, PipelineError> {
+        let mut guard = distance::BuildGuard::new(self.algorithm.label());
+        if let Some(deadline) = self.deadline {
+            guard = guard.with_deadline(deadline);
+        }
+        self.run_guarded(&guard)
+    }
+
+    /// [`Self::run_uncached`] under an explicit [`BuildGuard`]: the
+    /// guard is checked between engine grow iterations and before
+    /// Phase 2 on the sequential backend, so a fired token or expired
+    /// deadline stops a spanner construction mid-build instead of
+    /// after it.
+    pub(crate) fn run_guarded(
+        &self,
+        guard: &distance::BuildGuard,
+    ) -> Result<RunReport, PipelineError> {
         let plan = self.plan()?;
         let started = Instant::now();
-        let (result, stats) = self.execute(&plan)?;
+        let (result, stats) = self.execute(&plan, guard)?;
         let elapsed = started.elapsed();
+        // The guard's clock may predate execution (it counts a service
+        // job's admission wait); this final check charges that whole
+        // span against the caller's deadline.
+        guard.check()?;
         if let Some(deadline) = self.deadline {
             if elapsed > deadline {
                 return Err(PipelineError::DeadlineExceeded {
@@ -1009,11 +1125,22 @@ impl<'g> SpannerRequest<'g> {
         })
     }
 
-    fn execute(&self, plan: &Plan) -> Result<(SpannerResult, ExecutionStats), PipelineError> {
+    fn execute(
+        &self,
+        plan: &Plan,
+        guard: &distance::BuildGuard,
+    ) -> Result<(SpannerResult, ExecutionStats), PipelineError> {
         let g = self.graph;
         let seed = self.seed;
+        // Only the sequential driver threads the guard through its
+        // iteration loop; the model simulators run whole-schedule and
+        // check at the boundary.
+        guard.check()?;
         match self.backend {
-            Backend::Sequential => Ok((self.run_sequential(plan), ExecutionStats::Sequential)),
+            Backend::Sequential => Ok((
+                self.run_sequential(plan, guard)?,
+                ExecutionStats::Sequential,
+            )),
             Backend::Mpc(deployment) => {
                 let params = plan.schedule.expect("plan() rejects non-engine algorithms");
                 let config = deployment.config(g);
@@ -1069,15 +1196,22 @@ impl<'g> SpannerRequest<'g> {
         }
     }
 
-    /// Sequential dispatch. Infallible once `plan()` has validated.
-    fn run_sequential(&self, plan: &Plan) -> SpannerResult {
+    /// Sequential dispatch. Infallible once `plan()` has validated and
+    /// the guard never interrupts; with an armed guard, Baswana–Sen and
+    /// the engine-schedule algorithms check it between grow iterations
+    /// and before their Phase 2.
+    fn run_sequential(
+        &self,
+        plan: &Plan,
+        guard: &distance::BuildGuard,
+    ) -> Result<SpannerResult, PipelineError> {
         let g = self.graph;
         let seed = self.seed;
         match self.algorithm {
-            Algorithm::BaswanaSen { k } => crate::baswana_sen::build(g, k, seed),
-            Algorithm::SqrtK { k } => crate::sqrt_k::build(g, k, seed),
+            Algorithm::BaswanaSen { k } => crate::baswana_sen::build_guarded(g, k, seed, guard),
+            Algorithm::SqrtK { k } => Ok(crate::sqrt_k::build(g, k, seed)),
             Algorithm::UnweightedOk { k, config } => {
-                crate::unweighted_ok::build(g, k, config, seed)
+                Ok(crate::unweighted_ok::build(g, k, config, seed))
             }
             Algorithm::General(_)
             | Algorithm::ClusterMerging { .. }
@@ -1086,8 +1220,8 @@ impl<'g> SpannerRequest<'g> {
                 let opts = crate::general::BuildOptions {
                     track_radii: self.track_radii,
                 };
-                let r = crate::general::run_general(g, params, seed, opts);
-                self.finish_engine_result(r, plan)
+                let r = crate::general::run_general(g, params, seed, opts, guard)?;
+                Ok(self.finish_engine_result(r, plan))
             }
         }
     }

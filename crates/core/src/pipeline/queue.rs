@@ -1,0 +1,896 @@
+//! The **non-blocking front door** over a [`ShardedService`]: submit a
+//! job, get a [`JobId`] back immediately, collect the result later.
+//!
+//! PR 5's submitters block the calling thread (`SpannerJob::run` /
+//! `OracleJob::build` return only when the artifact is ready), and the
+//! only concurrency control is the single global
+//! `ServiceConfig::max_in_flight` gate. This module replaces that shape
+//! for serving traffic:
+//!
+//! * [`JobQueue::submit`] enqueues a [`JobSpec`] and returns without
+//!   blocking; [`JobQueue::poll`] / [`JobQueue::wait`] /
+//!   [`JobQueue::wait_timeout`] observe the job's [`JobStatus`];
+//! * two **priority lanes** ([`Priority::Interactive`] /
+//!   [`Priority::Batch`]): interactive jobs are dispatched first, with
+//!   a bounded escape valve (every
+//!   [`QueueConfig::batch_escape_every`]-th dispatch serves the batch
+//!   lane) so neither lane can starve the other;
+//! * **per-client fairness** inside each lane: jobs are queued per
+//!   [`ClientId`] and dispatched round-robin across clients, so one
+//!   client's burst of 1000 jobs cannot delay another client's single
+//!   job by more than one rotation;
+//! * a fixed pool of **worker threads** drains the queue into
+//!   shard-local [`SpannerService`] jobs — worker count bounds
+//!   execution concurrency *for queued traffic*, replacing the global
+//!   `max_in_flight` for this front end (the inner shards can run
+//!   unlimited admission);
+//! * **cancel/deadline before execution**: a job whose
+//!   [`CancelToken`] fires or whose deadline expires while still
+//!   queued resolves ([`PipelineError::Cancelled`] /
+//!   [`PipelineError::DeadlineExceeded`]) *without executing* — the
+//!   check happens at dispatch, and a token fired mid-build aborts at
+//!   the engine's [`BuildGuard`](super::BuildGuard) checkpoints;
+//! * every wait is **condvar-driven** (submission wakes a worker,
+//!   resolution wakes the waiters) — no polling loops anywhere on this
+//!   path.
+//!
+//! Every submitted job resolves **exactly once**: the per-job state
+//! machine (`Queued → Running → Completed | Failed`) advances under one
+//! lock, and results are retained until the queue is dropped, so late
+//! `wait`s and repeated `poll`s are always answered.
+//!
+//! Answers are identical to the blocking path: workers execute through
+//! the same [`ShardedService`] jobs, so artifacts land in (and are
+//! served from) the same budgeted stores, bit-identical at equal seeds.
+//!
+//! [`SpannerService`]: super::SpannerService
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::distance::{DistanceOracle, QueryEngine};
+use super::shard::ShardedService;
+use super::{Algorithm, Backend, CancelToken, GraphHandle, PipelineError, RunReport, Verification};
+
+// ---------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------
+
+/// Identifies the submitting client for fair admission: each client
+/// gets its own FIFO inside a lane, and dispatch rotates across
+/// clients. Callers that don't care can leave the default (all jobs
+/// then share one FIFO, which is plain submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClientId(pub u64);
+
+/// The two dispatch lanes. Interactive wins ties; the batch lane is
+/// guaranteed progress via [`QueueConfig::batch_escape_every`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic — dispatched ahead of batch work.
+    #[default]
+    Interactive,
+    /// Throughput traffic (prebuilds, sweeps) — yields to interactive
+    /// jobs but is never starved.
+    Batch,
+}
+
+impl Priority {
+    fn lane(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+}
+
+/// Handle to a submitted job, unique for the queue's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// What a completed job produced — the same `Arc`'d artifacts the
+/// blocking submitters return.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// From a [`JobSpec::spanner`] job.
+    Spanner(Arc<RunReport>),
+    /// From a [`JobSpec::oracle`] job.
+    Oracle(Arc<DistanceOracle>),
+}
+
+impl JobOutput {
+    /// The spanner report, if this is a spanner job's output.
+    pub fn spanner(&self) -> Option<&Arc<RunReport>> {
+        match self {
+            JobOutput::Spanner(report) => Some(report),
+            JobOutput::Oracle(_) => None,
+        }
+    }
+
+    /// The oracle, if this is an oracle job's output.
+    pub fn oracle(&self) -> Option<&Arc<DistanceOracle>> {
+        match self {
+            JobOutput::Oracle(oracle) => Some(oracle),
+            JobOutput::Spanner(_) => None,
+        }
+    }
+}
+
+/// A job's lifecycle state. Exactly one terminal transition happens per
+/// job ([`JobStatus::Completed`] or [`JobStatus::Failed`]).
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting in its lane.
+    Queued,
+    /// Picked up by a worker (executing, or in its pre-execution
+    /// cancel/deadline check).
+    Running,
+    /// Resolved with an artifact.
+    Completed(JobOutput),
+    /// Resolved with an error — including jobs cancelled or
+    /// deadline-expired while still queued, which never executed.
+    Failed(PipelineError),
+}
+
+impl JobStatus {
+    /// Whether the job has resolved (will never change again).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Completed(_) | JobStatus::Failed(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Spanner,
+    Oracle,
+}
+
+/// An owned job description — everything a [`SpannerJob`] /
+/// [`OracleJob`] builder carries, plus the queueing attributes
+/// ([`Priority`], [`ClientId`]). Owned (the [`GraphHandle`] is `Arc`'d)
+/// so it can cross into the worker threads.
+///
+/// [`SpannerJob`]: super::SpannerJob
+/// [`OracleJob`]: super::OracleJob
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    kind: JobKind,
+    handle: GraphHandle,
+    algorithm: Algorithm,
+    backend: Backend,
+    seed: u64,
+    verification: Verification,
+    engine: QueryEngine,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+    priority: Priority,
+    client: ClientId,
+}
+
+impl JobSpec {
+    fn new(kind: JobKind, handle: &GraphHandle, algorithm: Algorithm) -> Self {
+        JobSpec {
+            kind,
+            handle: handle.clone(),
+            algorithm,
+            backend: Backend::Sequential,
+            seed: 0,
+            verification: Verification::Skip,
+            engine: QueryEngine::Dijkstra,
+            deadline: None,
+            cancel: CancelToken::new(),
+            priority: Priority::default(),
+            client: ClientId::default(),
+        }
+    }
+
+    /// A spanner-construction job (resolves to
+    /// [`JobOutput::Spanner`]).
+    pub fn spanner(handle: &GraphHandle, algorithm: Algorithm) -> Self {
+        JobSpec::new(JobKind::Spanner, handle, algorithm)
+    }
+
+    /// A distance-oracle job (resolves to [`JobOutput::Oracle`]).
+    pub fn oracle(handle: &GraphHandle, algorithm: Algorithm) -> Self {
+        JobSpec::new(JobKind::Oracle, handle, algorithm)
+    }
+
+    /// Chooses the execution backend.
+    pub fn on(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the shared-randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inline verification policy (spanner jobs).
+    pub fn verification(mut self, verification: Verification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Query engine (oracle jobs).
+    pub fn engine(mut self, engine: QueryEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Deadline covering queue wait *and* execution, measured from
+    /// submission.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Uses `token` instead of the spec's own fresh token — lets one
+    /// token cancel a group of jobs.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The job's cancellation token (fresh per spec unless
+    /// [`JobSpec::cancel`] replaced it).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Dispatch lane.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Submitting client, for fair admission.
+    pub fn client(mut self, client: ClientId) -> Self {
+        self.client = client;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and stats
+// ---------------------------------------------------------------------
+
+/// Tuning knobs of a [`JobQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Worker threads draining the queue — the execution concurrency
+    /// bound for queued traffic.
+    pub workers: usize,
+    /// Anti-starvation valve: when both lanes hold work, every
+    /// `batch_escape_every`-th dispatch serves the batch lane instead
+    /// of the interactive one. `0` disables the valve (strict
+    /// priority — batch work then runs only when the interactive lane
+    /// is empty).
+    pub batch_escape_every: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            workers: 2,
+            batch_escape_every: 4,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a queue's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Jobs submitted over the queue's lifetime.
+    pub submitted: u64,
+    /// Jobs resolved with an artifact.
+    pub completed: u64,
+    /// Jobs resolved with an error (includes the skipped counters).
+    pub failed: u64,
+    /// Jobs that actually reached a shard (hit or miss).
+    pub executed: u64,
+    /// Jobs whose token fired while still queued — resolved
+    /// [`PipelineError::Cancelled`] without executing.
+    pub skipped_cancelled: u64,
+    /// Jobs whose deadline expired while still queued — resolved
+    /// [`PipelineError::DeadlineExceeded`] without executing.
+    pub skipped_deadline: u64,
+    /// Jobs currently waiting in a lane.
+    pub queued_now: usize,
+    /// High-water mark of `queued_now`.
+    pub peak_queued: usize,
+}
+
+impl QueueStats {
+    /// One-line summary for logs and experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "submitted={} completed={} failed={} executed={} skipped(cancel={}, deadline={}) \
+             queued={} (peak {})",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.executed,
+            self.skipped_cancelled,
+            self.skipped_deadline,
+            self.queued_now,
+            self.peak_queued,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    status: JobStatus,
+    submitted: Instant,
+    /// 1-based global order in which this job resolved (terminal
+    /// transitions only) — lets tests assert scheduling properties.
+    resolved_seq: Option<u64>,
+}
+
+/// One priority lane: per-client FIFOs plus the round-robin rotation.
+/// Invariant: `rotation` holds exactly the clients with a non-empty
+/// FIFO, each once, in dispatch order.
+#[derive(Debug, Default)]
+struct Lane {
+    per_client: HashMap<ClientId, VecDeque<JobId>>,
+    rotation: VecDeque<ClientId>,
+    len: usize,
+}
+
+impl Lane {
+    fn push(&mut self, client: ClientId, id: JobId) {
+        let fifo = self.per_client.entry(client).or_default();
+        if fifo.is_empty() {
+            self.rotation.push_back(client);
+        }
+        fifo.push_back(id);
+        self.len += 1;
+    }
+
+    fn pop_round_robin(&mut self) -> Option<JobId> {
+        let client = self.rotation.pop_front()?;
+        let fifo = self
+            .per_client
+            .get_mut(&client)
+            .expect("rotation clients have a FIFO");
+        let id = fifo.pop_front().expect("rotation clients have work");
+        if fifo.is_empty() {
+            self.per_client.remove(&client);
+        } else {
+            self.rotation.push_back(client);
+        }
+        self.len -= 1;
+        Some(id)
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: HashMap<JobId, JobEntry>,
+    lanes: [Lane; 2],
+    dispatches: u64,
+    resolutions: u64,
+    shutdown: bool,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    executed: u64,
+    skipped_cancelled: u64,
+    skipped_deadline: u64,
+    queued_now: usize,
+    peak_queued: usize,
+}
+
+impl QueueState {
+    /// Picks the next job to dispatch, honouring lane priority (with
+    /// the batch escape valve) and per-client round-robin.
+    fn take_next(&mut self, config: &QueueConfig) -> Option<JobId> {
+        let interactive = self.lanes[0].len > 0;
+        let batch = self.lanes[1].len > 0;
+        let lane = match (interactive, batch) {
+            (false, false) => return None,
+            (true, false) => 0,
+            (false, true) => 1,
+            (true, true) => {
+                let escape = config.batch_escape_every as u64;
+                if escape > 0 && (self.dispatches + 1).is_multiple_of(escape) {
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        self.dispatches += 1;
+        let id = self.lanes[lane]
+            .pop_round_robin()
+            .expect("non-empty lane yields a job");
+        self.queued_now -= 1;
+        Some(id)
+    }
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    service: Arc<ShardedService>,
+    config: QueueConfig,
+    state: Mutex<QueueState>,
+    /// Workers park here; submission (and shutdown) notifies.
+    work_ready: Condvar,
+    /// `wait`ers park here; every terminal resolution notifies.
+    job_done: Condvar,
+    next_id: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// The queue
+// ---------------------------------------------------------------------
+
+/// The async job-queue front end. See the [module docs](self).
+///
+/// Dropping the queue stops the workers after their in-flight jobs:
+/// still-queued jobs are abandoned (their status stays
+/// [`JobStatus::Queued`]) and blocked [`JobQueue::wait`] calls return
+/// [`PipelineError::Cancelled`] — quiesce with `wait` before dropping
+/// if every result matters.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Arc<QueueInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobQueue {
+    /// Starts `config.workers` worker threads over `service`.
+    pub fn start(service: Arc<ShardedService>, config: QueueConfig) -> JobQueue {
+        assert!(config.workers >= 1, "a job queue needs at least one worker");
+        let inner = Arc::new(QueueInner {
+            service,
+            config,
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("spanner-queue-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn queue worker")
+            })
+            .collect();
+        JobQueue { inner, workers }
+    }
+
+    /// [`JobQueue::start`] with the default [`QueueConfig`].
+    pub fn with_defaults(service: Arc<ShardedService>) -> JobQueue {
+        JobQueue::start(service, QueueConfig::default())
+    }
+
+    /// The sharded service the workers execute against.
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.inner.service
+    }
+
+    /// Enqueues a job and returns immediately. The returned id is valid
+    /// for [`JobQueue::poll`] / [`wait`](JobQueue::wait) for the
+    /// queue's whole lifetime.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        {
+            let mut state = self.lock();
+            state.submitted += 1;
+            state.queued_now += 1;
+            state.peak_queued = state.peak_queued.max(state.queued_now);
+            state.lanes[spec.priority.lane()].push(spec.client, id);
+            state.jobs.insert(
+                id,
+                JobEntry {
+                    spec,
+                    status: JobStatus::Queued,
+                    submitted: Instant::now(),
+                    resolved_seq: None,
+                },
+            );
+        }
+        self.inner.work_ready.notify_one();
+        id
+    }
+
+    /// The job's current status (`None` for an id this queue never
+    /// issued). Non-blocking.
+    pub fn poll(&self, id: JobId) -> Option<JobStatus> {
+        self.lock().jobs.get(&id).map(|entry| entry.status.clone())
+    }
+
+    /// Blocks until the job resolves; condvar-driven, no polling.
+    pub fn wait(&self, id: JobId) -> Result<JobOutput, PipelineError> {
+        let mut state = self.lock();
+        loop {
+            match &state.jobs.get(&id).ok_or_else(|| unknown_job(id))?.status {
+                JobStatus::Completed(output) => return Ok(output.clone()),
+                JobStatus::Failed(error) => return Err(error.clone()),
+                _ if state.shutdown => return Err(PipelineError::Cancelled),
+                _ => {
+                    state = self.inner.job_done.wait(state).expect("job queue poisoned");
+                }
+            }
+        }
+    }
+
+    /// [`JobQueue::wait`] bounded by `timeout`: `None` if the job is
+    /// still pending when it elapses.
+    pub fn wait_timeout(
+        &self,
+        id: JobId,
+        timeout: Duration,
+    ) -> Option<Result<JobOutput, PipelineError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            match &state.jobs.get(&id) {
+                None => return Some(Err(unknown_job(id))),
+                Some(entry) => match &entry.status {
+                    JobStatus::Completed(output) => return Some(Ok(output.clone())),
+                    JobStatus::Failed(error) => return Some(Err(error.clone())),
+                    _ if state.shutdown => return Some(Err(PipelineError::Cancelled)),
+                    _ => {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return None;
+                        }
+                        state = self
+                            .inner
+                            .job_done
+                            .wait_timeout(state, remaining)
+                            .expect("job queue poisoned")
+                            .0;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Fires the job's [`CancelToken`]. A still-queued job resolves
+    /// [`PipelineError::Cancelled`] at dispatch without executing; a
+    /// running job aborts at its next guard checkpoint. Returns whether
+    /// the job existed and had not already resolved.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let token = {
+            let state = self.lock();
+            state
+                .jobs
+                .get(&id)
+                .filter(|entry| !entry.status.is_terminal())
+                .map(|entry| entry.spec.cancel.clone())
+        };
+        match token {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs currently waiting in a lane.
+    pub fn pending(&self) -> usize {
+        self.lock().queued_now
+    }
+
+    /// A point-in-time snapshot of the queue's counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.lock();
+        QueueStats {
+            submitted: state.submitted,
+            completed: state.completed,
+            failed: state.failed,
+            executed: state.executed,
+            skipped_cancelled: state.skipped_cancelled,
+            skipped_deadline: state.skipped_deadline,
+            queued_now: state.queued_now,
+            peak_queued: state.peak_queued,
+        }
+    }
+
+    /// The 1-based global order in which the job resolved (`None` while
+    /// pending or for unknown ids) — scheduling-order introspection for
+    /// tests and dashboards.
+    pub fn resolution_order(&self, id: JobId) -> Option<u64> {
+        self.lock()
+            .jobs
+            .get(&id)
+            .and_then(|entry| entry.resolved_seq)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.inner.state.lock().expect("job queue poisoned")
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        {
+            let mut state = self.lock();
+            state.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.job_done.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn unknown_job(id: JobId) -> PipelineError {
+    PipelineError::InvalidRequest(format!("{id} was never submitted to this queue"))
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(inner: &QueueInner) {
+    loop {
+        // Dequeue (or exit on shutdown). Shutdown wins over backlog:
+        // the queue is being dropped, so still-queued jobs are
+        // abandoned rather than raced against the join.
+        let (id, spec, submitted) = {
+            let mut state = inner.state.lock().expect("job queue poisoned");
+            let id = loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.take_next(&inner.config) {
+                    break id;
+                }
+                state = inner.work_ready.wait(state).expect("job queue poisoned");
+            };
+            let entry = state.jobs.get_mut(&id).expect("dispatched job exists");
+            entry.status = JobStatus::Running;
+            (id, entry.spec.clone(), entry.submitted)
+        };
+
+        // Pre-execution checks: a token fired or a deadline blown while
+        // the job sat in its lane resolves it here — it never executes
+        // and never touches the shard's counters.
+        if spec.cancel.is_cancelled() {
+            resolve(
+                inner,
+                id,
+                Err(PipelineError::Cancelled),
+                Disposition::SkippedCancel,
+            );
+            continue;
+        }
+        let remaining = match spec.deadline {
+            Some(deadline) => {
+                let waited = submitted.elapsed();
+                if waited >= deadline {
+                    resolve(
+                        inner,
+                        id,
+                        Err(PipelineError::DeadlineExceeded {
+                            algorithm: spec.algorithm.label(),
+                            deadline,
+                            elapsed: waited,
+                        }),
+                        Disposition::SkippedDeadline,
+                    );
+                    continue;
+                }
+                Some(deadline - waited)
+            }
+            None => None,
+        };
+
+        let result = execute(inner, &spec, remaining);
+        resolve(inner, id, result, Disposition::Executed);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    Executed,
+    SkippedCancel,
+    SkippedDeadline,
+}
+
+fn execute(
+    inner: &QueueInner,
+    spec: &JobSpec,
+    remaining: Option<Duration>,
+) -> Result<JobOutput, PipelineError> {
+    match spec.kind {
+        JobKind::Spanner => {
+            let mut job = inner
+                .service
+                .spanner(&spec.handle, spec.algorithm)
+                .on(spec.backend)
+                .seed(spec.seed)
+                .verification(spec.verification)
+                .cancel(spec.cancel.clone());
+            if let Some(remaining) = remaining {
+                job = job.deadline(remaining);
+            }
+            job.run().map(JobOutput::Spanner)
+        }
+        JobKind::Oracle => {
+            let mut job = inner
+                .service
+                .oracle(&spec.handle, spec.algorithm)
+                .on(spec.backend)
+                .seed(spec.seed)
+                .engine(spec.engine)
+                .cancel(spec.cancel.clone());
+            if let Some(remaining) = remaining {
+                job = job.deadline(remaining);
+            }
+            job.build().map(JobOutput::Oracle)
+        }
+    }
+}
+
+/// The single terminal transition of a job: status, resolution order
+/// and counters advance together under the state lock, then every
+/// waiter is woken.
+fn resolve(
+    inner: &QueueInner,
+    id: JobId,
+    result: Result<JobOutput, PipelineError>,
+    disposition: Disposition,
+) {
+    {
+        let mut state = inner.state.lock().expect("job queue poisoned");
+        state.resolutions += 1;
+        let seq = state.resolutions;
+        match disposition {
+            Disposition::Executed => state.executed += 1,
+            Disposition::SkippedCancel => state.skipped_cancelled += 1,
+            Disposition::SkippedDeadline => state.skipped_deadline += 1,
+        }
+        match &result {
+            Ok(_) => state.completed += 1,
+            Err(_) => state.failed += 1,
+        }
+        let entry = state.jobs.get_mut(&id).expect("resolved job exists");
+        debug_assert!(
+            matches!(entry.status, JobStatus::Running),
+            "exactly-once: only Running jobs resolve"
+        );
+        entry.status = match result {
+            Ok(output) => JobStatus::Completed(output),
+            Err(error) => JobStatus::Failed(error),
+        };
+        entry.resolved_seq = Some(seq);
+    }
+    inner.job_done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TradeoffParams;
+    use spanner_graph::generators::{self, WeightModel};
+
+    fn sharded() -> Arc<ShardedService> {
+        Arc::new(ShardedService::new(2))
+    }
+
+    fn graph(seed: u64) -> spanner_graph::Graph {
+        generators::connected_erdos_renyi(60, 0.1, WeightModel::Uniform(1, 8), seed)
+    }
+
+    fn alg() -> Algorithm {
+        Algorithm::General(TradeoffParams::new(4, 2))
+    }
+
+    #[test]
+    fn submit_poll_wait_roundtrip() {
+        let service = sharded();
+        let handle = service.register(graph(1));
+        let queue = JobQueue::start(Arc::clone(&service), QueueConfig::default());
+        let id = queue.submit(JobSpec::spanner(&handle, alg()).seed(7));
+        let output = queue.wait(id).expect("job completes");
+        let report = output.spanner().expect("spanner job yields a report");
+        // Identical to the blocking path (same store, same artifact).
+        let direct = service.spanner(&handle, alg()).seed(7).run().unwrap();
+        assert!(Arc::ptr_eq(report, &direct));
+        assert!(queue.poll(id).unwrap().is_terminal());
+        assert_eq!(queue.resolution_order(id), Some(1));
+        let stats = queue.stats();
+        assert_eq!(
+            (stats.submitted, stats.completed, stats.executed),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn unknown_ids_are_typed_errors_not_panics() {
+        let queue = JobQueue::with_defaults(sharded());
+        let bogus = JobId(999);
+        assert!(queue.poll(bogus).is_none());
+        assert!(matches!(
+            queue.wait(bogus),
+            Err(PipelineError::InvalidRequest(_))
+        ));
+        assert!(!queue.cancel(bogus));
+    }
+
+    #[test]
+    fn wait_timeout_reports_pending_then_resolves() {
+        let service = sharded();
+        let handle = service.register(graph(2));
+        let queue = JobQueue::start(
+            Arc::clone(&service),
+            QueueConfig {
+                workers: 1,
+                ..QueueConfig::default()
+            },
+        );
+        // Occupy the single worker so the probe job stays queued.
+        let blocker = queue.submit(JobSpec::oracle(&handle, alg()).seed(1));
+        let probe = queue.submit(JobSpec::spanner(&handle, alg()).seed(2));
+        // Either still pending (None) or already done — both are legal
+        // depending on scheduling; what must never happen is an error.
+        if let Some(result) = queue.wait_timeout(probe, Duration::from_millis(1)) {
+            assert!(result.is_ok());
+        }
+        assert!(queue.wait(blocker).is_ok());
+        assert!(queue
+            .wait_timeout(probe, Duration::from_secs(60))
+            .expect("resolves well within a minute")
+            .is_ok());
+    }
+
+    #[test]
+    fn lane_round_robin_interleaves_clients() {
+        let mut lane = Lane::default();
+        let (a, b) = (ClientId(1), ClientId(2));
+        lane.push(a, JobId(1));
+        lane.push(a, JobId(2));
+        lane.push(a, JobId(3));
+        lane.push(b, JobId(4));
+        let order: Vec<JobId> = std::iter::from_fn(|| lane.pop_round_robin()).collect();
+        assert_eq!(order, vec![JobId(1), JobId(4), JobId(2), JobId(3)]);
+        assert_eq!(lane.len, 0);
+    }
+
+    #[test]
+    fn take_next_prefers_interactive_with_batch_escape() {
+        let mut state = QueueState::default();
+        let config = QueueConfig {
+            workers: 1,
+            batch_escape_every: 3,
+        };
+        let client = ClientId::default();
+        for i in 0..4u64 {
+            state.lanes[0].push(client, JobId(100 + i));
+            state.lanes[1].push(client, JobId(200 + i));
+            state.queued_now += 2;
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| state.take_next(&config))
+            .map(|JobId(raw)| raw)
+            .collect();
+        // Dispatches 3 and 6 (every 3rd) serve the batch lane while
+        // both lanes hold work; once interactive drains, batch runs.
+        assert_eq!(order, vec![100, 101, 200, 102, 103, 201, 202, 203]);
+    }
+}

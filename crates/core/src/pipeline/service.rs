@@ -384,6 +384,25 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// Accumulates another snapshot into this one — the cross-shard
+    /// rollup behind [`super::ShardedService::stats`]. Every counter is
+    /// a sum, so derived figures ([`ServiceStats::hit_rate`],
+    /// [`ServiceStats::avg_job_latency`], [`ServiceStats::summary`])
+    /// aggregate across shards for free.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.rejected += other.rejected;
+        self.queued += other.queued;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.busy += other.busy;
+        self.store_len += other.store_len;
+        self.store_used_bytes += other.store_used_bytes;
+    }
+
     /// Mean wall-clock latency of executed (miss-path) jobs.
     pub fn avg_job_latency(&self) -> Duration {
         let executed = self.completed + self.failed;
@@ -435,14 +454,38 @@ struct Counters {
     busy_micros: AtomicU64,
 }
 
+/// The slot counter + condvar a queued waiter parks on. `Arc`'d so a
+/// [`CancelToken`] can hold it as a waiter to wake on cancellation.
+#[derive(Debug, Default)]
+struct AdmissionShared {
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl super::CancelWaiter for AdmissionShared {
+    fn wake(&self) {
+        // Taking the slot lock orders this wake strictly after the
+        // waiter has either parked on the condvar (it holds the lock
+        // from its last token check until `wait()` releases it) or
+        // already observed the fired token — so the notification can
+        // never be lost in between.
+        drop(self.in_flight.lock().expect("admission poisoned"));
+        self.freed.notify_all();
+    }
+}
+
 /// Counting semaphore over (max_in_flight, policy) — plain
 /// Mutex+Condvar, deterministic under the test loads we care about.
+///
+/// Queued waiters are *event-driven*: a freed slot notifies one waiter,
+/// and a fired [`CancelToken`] wakes every subscribed waiter through
+/// [`AdmissionShared::wake`] — there is no poll interval. A waiter with
+/// a deadline sleeps at most the remaining time.
 #[derive(Debug)]
 struct Admission {
     max_in_flight: usize,
     policy: OverloadPolicy,
-    in_flight: Mutex<usize>,
-    freed: Condvar,
+    shared: Arc<AdmissionShared>,
 }
 
 /// RAII execution slot; releasing wakes one queued job.
@@ -454,29 +497,28 @@ impl Admission {
         Admission {
             max_in_flight,
             policy,
-            in_flight: Mutex::new(0),
-            freed: Condvar::new(),
+            shared: Arc::new(AdmissionShared::default()),
         }
     }
 
     fn acquire(&self, counters: &Counters) -> Result<Permit<'_>, PipelineError> {
-        self.acquire_with(counters, &|| Ok(()))
+        self.acquire_guarded(counters, &BuildGuard::new("admission"))
     }
 
-    /// [`Self::acquire`] with an interruption check: while queued, the
-    /// waiter re-evaluates `interrupt` a few times per second, so a
-    /// fired [`CancelToken`] or an expired deadline releases the
-    /// submitting thread instead of leaving it blocked until a slot
-    /// frees.
-    fn acquire_with(
+    /// [`Self::acquire`] under a [`BuildGuard`]: while queued, the
+    /// waiter is woken by freed slots, by the guard's token firing
+    /// (condvar subscription), or by its deadline expiring — whichever
+    /// comes first — and re-checks the guard on every wakeup.
+    fn acquire_guarded(
         &self,
         counters: &Counters,
-        interrupt: &dyn Fn() -> Result<(), PipelineError>,
+        guard: &BuildGuard,
     ) -> Result<Permit<'_>, PipelineError> {
         if self.max_in_flight == 0 {
             return Ok(Permit(None));
         }
-        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        let shared = &self.shared;
+        let mut in_flight = shared.in_flight.lock().expect("admission poisoned");
         if *in_flight >= self.max_in_flight {
             match self.policy {
                 OverloadPolicy::Reject => {
@@ -488,13 +530,23 @@ impl Admission {
                 }
                 OverloadPolicy::Queue => {
                     counters.queued.fetch_add(1, Ordering::Relaxed);
-                    while *in_flight >= self.max_in_flight {
-                        interrupt()?;
-                        let (guard, _timed_out) = self
-                            .freed
-                            .wait_timeout(in_flight, Duration::from_millis(10))
-                            .expect("admission poisoned");
-                        in_flight = guard;
+                    let _subscription =
+                        guard.subscribe_waiter(Arc::clone(shared) as Arc<dyn super::CancelWaiter>);
+                    loop {
+                        guard.check()?;
+                        if *in_flight < self.max_in_flight {
+                            break;
+                        }
+                        in_flight = match guard.deadline_remaining() {
+                            Some(remaining) => {
+                                shared
+                                    .freed
+                                    .wait_timeout(in_flight, remaining)
+                                    .expect("admission poisoned")
+                                    .0
+                            }
+                            None => shared.freed.wait(in_flight).expect("admission poisoned"),
+                        };
                     }
                 }
             }
@@ -507,10 +559,14 @@ impl Admission {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         if let Some(admission) = self.0 {
-            let mut in_flight = admission.in_flight.lock().expect("admission poisoned");
+            let mut in_flight = admission
+                .shared
+                .in_flight
+                .lock()
+                .expect("admission poisoned");
             *in_flight -= 1;
             drop(in_flight);
-            admission.freed.notify_one();
+            admission.shared.freed.notify_one();
         }
     }
 }
@@ -824,39 +880,28 @@ impl SpannerService {
             }
         }
         let started = Instant::now();
-        let interrupt = || {
-            check_cancel(job.cancel.as_ref())?;
-            if let Some(deadline) = job.deadline {
-                let elapsed = started.elapsed();
-                if elapsed > deadline {
-                    return Err(PipelineError::DeadlineExceeded {
-                        algorithm: job.algorithm.label(),
-                        deadline,
-                        elapsed,
-                    });
-                }
-            }
-            Ok(())
-        };
+        // The guard's clock starts at submission, so admission wait
+        // counts against the job's deadline — and the guard rides into
+        // the engine loops, so a token fired mid-build stops the
+        // construction between grow iterations.
+        let mut guard = BuildGuard::new(job.algorithm.label());
+        if let Some(token) = &job.cancel {
+            guard = guard.with_cancel(token.clone());
+        }
+        if let Some(deadline) = job.deadline {
+            guard = guard.with_deadline(deadline);
+        }
         // Rejected / cancelled-before-execution jobs return here without
         // touching the miss or latency counters — only executions count.
-        interrupt()?;
-        let permit = self.admission.acquire_with(&self.counters, &interrupt)?;
-        interrupt()?;
+        guard.check()?;
+        let permit = self.admission.acquire_guarded(&self.counters, &guard)?;
+        guard.check()?;
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let built = {
-            let mut request = SpannerRequest::new(job.handle.graph(), job.algorithm)
-                .on(job.backend)
-                .seed(job.seed)
-                .verification(job.verification);
-            if let Some(deadline) = job.deadline {
-                // The execution clock restarts inside the request, so
-                // hand it only what's left after the admission wait —
-                // the job's deadline covers wait + execution together.
-                request = request.deadline(deadline.saturating_sub(started.elapsed()));
-            }
-            request.run_uncached()
-        };
+        let built = SpannerRequest::new(job.handle.graph(), job.algorithm)
+            .on(job.backend)
+            .seed(job.seed)
+            .verification(job.verification)
+            .run_guarded(&guard);
         drop(permit);
         self.finish(started, built.is_ok());
         let report = Arc::new(built?);
@@ -903,9 +948,7 @@ impl SpannerService {
             guard = guard.with_deadline(deadline);
         }
         guard.check()?;
-        let permit = self
-            .admission
-            .acquire_with(&self.counters, &|| guard.check())?;
+        let permit = self.admission.acquire_guarded(&self.counters, &guard)?;
         guard.check()?;
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let built = {
@@ -1003,13 +1046,6 @@ impl SpannerService {
         })();
         self.finish(started, out.is_ok());
         out
-    }
-}
-
-fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), PipelineError> {
-    match cancel {
-        Some(token) if token.is_cancelled() => Err(PipelineError::Cancelled),
-        _ => Ok(()),
     }
 }
 

@@ -33,6 +33,16 @@
 //! thin shims over an anonymous single-use registration on that layer,
 //! so both flows produce bit-identical artifacts at equal seeds.
 //!
+//! **Scaling the tier out?** [`pipeline::ShardedService`] puts N inner
+//! services behind a consistent-hash ring (per-shard budgets and
+//! locks, cross-shard stats rollup, rebalance-on-reregistration), and
+//! [`pipeline::JobQueue`] is its non-blocking front door: submit a
+//! [`pipeline::JobSpec`] for a [`pipeline::JobId`] immediately, with
+//! priority lanes, per-client fair admission, condvar-driven waits and
+//! pre-execution cancel/deadline resolution. The shard count is
+//! unobservable in answers — every tier shape returns bit-identical
+//! artifacts.
+//!
 //! This facade crate re-exports the public surface of the workspace:
 //!
 //! * [`pipeline`] — the unified request/plan/report API (start here);

@@ -94,3 +94,31 @@ fn service_reexport_resolves_and_serves() {
     assert!(verify_spanner(handle.graph(), &report.result.edges).all_edges_spanned);
     assert_eq!(service.stats().misses, 1);
 }
+
+/// `mpc_spanners::pipeline::{shard, queue}` (and their names at the
+/// `pipeline` root) resolve through the facade: the sharded tier and
+/// its async front door serve a job end to end.
+#[test]
+fn sharded_and_queue_reexports_resolve_and_serve() {
+    use std::sync::Arc;
+
+    use mpc_spanners::pipeline::{
+        Algorithm, ClientId, JobQueue, JobSpec, Priority, QueueConfig, ShardedService,
+    };
+
+    let g = connected_erdos_renyi(60, 0.1, WeightModel::Uniform(1, 8), 5);
+    let tier: Arc<spanner_core::pipeline::shard::ShardedService> = Arc::new(ShardedService::new(2));
+    let handle = tier.register(g);
+    let queue: spanner_core::pipeline::queue::JobQueue =
+        JobQueue::start(Arc::clone(&tier), QueueConfig::default());
+    let id = queue.submit(
+        JobSpec::spanner(&handle, Algorithm::General(TradeoffParams::new(4, 2)))
+            .seed(3)
+            .priority(Priority::Interactive)
+            .client(ClientId(1)),
+    );
+    let output = queue.wait(id).expect("job resolves");
+    let report = output.spanner().expect("spanner job");
+    assert!(verify_spanner(handle.graph(), &report.result.edges).all_edges_spanned);
+    assert_eq!(tier.stats().misses, 1);
+}

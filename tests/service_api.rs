@@ -17,6 +17,10 @@
 //! 5. **Builds are cooperatively interruptible** — a token fired
 //!    mid-batch stops in-flight oracle builds between Thorup–Zwick
 //!    levels / cluster chunks instead of running them to completion.
+//! 6. **Spanner construction itself is preemptible** — the token is
+//!    also checked between grow iterations (Baswana–Sen and the
+//!    general engine), so a mid-spanner cancel returns `Cancelled` in
+//!    well under one full build, not only at oracle-stage boundaries.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -418,4 +422,76 @@ fn cancelled_mid_batch_build_stops_early() {
              in-flight builds did not stop early"
         );
     }
+}
+
+#[test]
+fn cancelled_mid_spanner_build_stops_between_grow_iterations() {
+    // Baswana–Sen at k = 8 runs seven grow iterations plus the vertex
+    // phase, so the guard gets checked ~8 times per build — fine-grained
+    // enough that a mid-build cancel must land well inside one build.
+    let algorithm = Algorithm::BaswanaSen { k: 8 };
+    let service = SpannerService::new();
+
+    // Escalate the workload until one full spanner build takes long
+    // enough that a mid-build cancellation is unambiguous here.
+    let mut workload = None;
+    for n in [5_000usize, 20_000, 60_000, 120_000] {
+        let g = Family::ErdosRenyi { n, avg_deg: 8.0 }.generate(WeightModel::Uniform(1, 8), 0x5B);
+        let handle = service.register(g);
+        let started = Instant::now();
+        service
+            .spanner(&handle, algorithm)
+            .seed(1)
+            .run()
+            .expect("full build");
+        let full = started.elapsed();
+        workload = Some((handle, full));
+        if full >= Duration::from_millis(200) {
+            break;
+        }
+    }
+    let (handle, full) = workload.expect("at least one workload measured");
+    let timing_reliable = full >= Duration::from_millis(200);
+
+    // A fresh seed forces a cold build; the token fires while its grow
+    // iterations are in flight.
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        let delay = (full / 8).max(Duration::from_millis(5));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            token.cancel();
+        })
+    };
+    let started = Instant::now();
+    let result = service
+        .spanner(&handle, algorithm)
+        .seed(2)
+        .cancel(token)
+        .run();
+    let elapsed = started.elapsed();
+    canceller.join().expect("canceller finishes");
+
+    assert!(
+        matches!(result, Err(PipelineError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+    if timing_reliable {
+        assert!(
+            elapsed < full.mul_f64(0.75),
+            "cancelled spanner build took {elapsed:?}, full build takes {full:?} — \
+             construction did not stop at a grow-iteration checkpoint"
+        );
+    }
+
+    // The interrupted build left nothing behind: only the measured
+    // seed-1 artifacts are cached, and the same job re-run without a
+    // token completes normally.
+    let fresh = service
+        .spanner(&handle, algorithm)
+        .seed(2)
+        .run()
+        .expect("uncancelled re-run completes");
+    assert!(!fresh.result.edges.is_empty());
 }
