@@ -55,6 +55,7 @@ pub mod presets;
 pub mod result;
 pub mod sqrt_k;
 pub mod streaming;
+pub mod sync;
 pub mod unweighted_ok;
 
 pub use general::{best_of, general_spanner, log_k_spanner, BuildOptions};

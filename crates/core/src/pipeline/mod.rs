@@ -78,7 +78,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::TrackedMutex;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -504,10 +506,18 @@ pub struct CancelToken {
     inner: Arc<TokenInner>,
 }
 
-#[derive(Default)]
 struct TokenInner {
     fired: AtomicBool,
-    waiters: Mutex<Vec<Arc<dyn CancelWaiter>>>,
+    waiters: TrackedMutex<Vec<Arc<dyn CancelWaiter>>>,
+}
+
+impl Default for TokenInner {
+    fn default() -> Self {
+        TokenInner {
+            fired: AtomicBool::new(false),
+            waiters: TrackedMutex::new("cancel.waiters", Vec::new()),
+        }
+    }
 }
 
 /// Internal: something parked on a condvar that must be woken when a
@@ -541,7 +551,7 @@ impl CancelToken {
         // waiter's own lock, and a subscriber may hold that lock while
         // calling `subscribe` — never hold both here.
         let waiters: Vec<Arc<dyn CancelWaiter>> = {
-            let mut list = self.inner.waiters.lock().expect("token poisoned");
+            let mut list = self.inner.waiters.lock();
             list.drain(..).collect()
         };
         for waiter in waiters {
@@ -559,11 +569,7 @@ impl CancelToken {
     /// subscribing — a token fired *before* the subscription has
     /// already drained its list.
     pub(crate) fn subscribe(&self, waiter: Arc<dyn CancelWaiter>) {
-        self.inner
-            .waiters
-            .lock()
-            .expect("token poisoned")
-            .push(waiter);
+        self.inner.waiters.lock().push(waiter);
     }
 
     /// Removes a previously subscribed waiter (by identity).
@@ -572,7 +578,6 @@ impl CancelToken {
         self.inner
             .waiters
             .lock()
-            .expect("token poisoned")
             .retain(|w| Arc::as_ptr(w) as *const () != target);
     }
 }
@@ -1499,5 +1504,56 @@ mod tests {
             .plan()
             .unwrap();
         assert_eq!(plan.streaming_passes, Some(plan.iterations + 1));
+    }
+
+    /// Model-check the subscribe-vs-cancel race on the token's waiter
+    /// list: a waiter that subscribed and then saw the token un-fired
+    /// must be woken by a concurrent `cancel()` in *every* explored
+    /// interleaving. This is exactly the lost-wakeup window the
+    /// drain-under-lock / wake-outside design closes; a failing
+    /// schedule prints its replay seed.
+    #[test]
+    #[cfg(feature = "lock-audit")]
+    fn cancel_subscribe_race_never_loses_a_wakeup() {
+        use crate::sync::interleave::Explorer;
+
+        struct Flag(AtomicBool);
+        impl CancelWaiter for Flag {
+            fn wake(&self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let summary = Explorer::new(200).base_seed(0x7E57).explore(|sim| {
+            let token = CancelToken::new();
+            let waiter = Arc::new(Flag(AtomicBool::new(false)));
+            let saw_unfired = Arc::new(AtomicBool::new(false));
+
+            {
+                let token = token.clone();
+                let waiter = Arc::clone(&waiter);
+                let saw_unfired = Arc::clone(&saw_unfired);
+                sim.spawn(move || {
+                    token.subscribe(waiter);
+                    // The documented contract: re-check the flag after
+                    // subscribing. Record what that check saw.
+                    if !token.is_cancelled() {
+                        saw_unfired.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+            {
+                let token = token.clone();
+                sim.spawn(move || token.cancel());
+            }
+
+            sim.join_all();
+            assert!(token.is_cancelled());
+            assert!(
+                waiter.0.load(Ordering::SeqCst) || !saw_unfired.load(Ordering::SeqCst),
+                "a subscriber that saw the token un-fired was never woken (lost wakeup)"
+            );
+        });
+        assert_eq!(summary.schedules, 200);
     }
 }

@@ -48,9 +48,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::sync::{MutexGuard, TrackedCondvar, TrackedMutex};
 
 use super::distance::{DistanceOracle, QueryEngine};
 use super::shard::ShardedService;
@@ -306,6 +308,10 @@ pub struct QueueStats {
     /// Jobs whose deadline expired while still queued — resolved
     /// [`PipelineError::DeadlineExceeded`] without executing.
     pub skipped_deadline: u64,
+    /// Jobs refused at submission because the queue was draining —
+    /// resolved [`PipelineError::Cancelled`] without ever entering a
+    /// lane.
+    pub refused: u64,
     /// Jobs currently waiting in a lane.
     pub queued_now: usize,
     /// High-water mark of `queued_now`.
@@ -317,13 +323,14 @@ impl QueueStats {
     pub fn summary(&self) -> String {
         format!(
             "submitted={} completed={} failed={} executed={} skipped(cancel={}, deadline={}) \
-             queued={} (peak {})",
+             refused={} queued={} (peak {})",
             self.submitted,
             self.completed,
             self.failed,
             self.executed,
             self.skipped_cancelled,
             self.skipped_deadline,
+            self.refused,
             self.queued_now,
             self.peak_queued,
         )
@@ -388,13 +395,19 @@ struct QueueState {
     dispatches: u64,
     resolutions: u64,
     shutdown: bool,
+    /// Set by [`JobQueue::drain`]: no new admissions, but queued work
+    /// still runs to resolution (unlike `shutdown`, which abandons it).
+    draining: bool,
     submitted: u64,
     completed: u64,
     failed: u64,
     executed: u64,
     skipped_cancelled: u64,
     skipped_deadline: u64,
+    refused: u64,
     queued_now: usize,
+    /// Jobs dispatched to a worker but not yet resolved.
+    running_now: usize,
     peak_queued: usize,
 }
 
@@ -430,11 +443,11 @@ impl QueueState {
 struct QueueInner {
     service: Arc<ShardedService>,
     config: QueueConfig,
-    state: Mutex<QueueState>,
+    state: TrackedMutex<QueueState>,
     /// Workers park here; submission (and shutdown) notifies.
-    work_ready: Condvar,
+    work_ready: TrackedCondvar,
     /// `wait`ers park here; every terminal resolution notifies.
-    job_done: Condvar,
+    job_done: TrackedCondvar,
     next_id: AtomicU64,
 }
 
@@ -445,10 +458,12 @@ struct QueueInner {
 /// The async job-queue front end. See the [module docs](self).
 ///
 /// Dropping the queue stops the workers after their in-flight jobs:
-/// still-queued jobs are abandoned (their status stays
-/// [`JobStatus::Queued`]) and blocked [`JobQueue::wait`] calls return
-/// [`PipelineError::Cancelled`] — quiesce with `wait` before dropping
-/// if every result matters.
+/// still-queued jobs resolve [`PipelineError::Cancelled`] without
+/// executing, and blocked [`JobQueue::wait`] calls return
+/// [`PipelineError::Cancelled`]. The documented contract is still to
+/// quiesce first when every result matters — call [`JobQueue::drain`]
+/// (or `wait` each job) before dropping; `lock-audit` debug builds
+/// assert it.
 #[derive(Debug)]
 pub struct JobQueue {
     inner: Arc<QueueInner>,
@@ -462,14 +477,18 @@ impl JobQueue {
         let inner = Arc::new(QueueInner {
             service,
             config,
-            state: Mutex::new(QueueState::default()),
-            work_ready: Condvar::new(),
-            job_done: Condvar::new(),
+            state: TrackedMutex::new("queue.state", QueueState::default()),
+            work_ready: TrackedCondvar::new("queue.work_ready"),
+            job_done: TrackedCondvar::new("queue.job_done"),
             next_id: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                // The queue *is* a sanctioned nursery: long-lived named
+                // workers joined on drop, not fork-join work that belongs
+                // on the pool.
+                // analyze:allow(stray-spawn)
                 std::thread::Builder::new()
                     .name(format!("spanner-queue-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
@@ -497,6 +516,27 @@ impl JobQueue {
         {
             let mut state = self.lock();
             state.submitted += 1;
+            if state.draining || state.shutdown {
+                // Refused at the door: the id is still valid for
+                // poll/wait, but the job resolves Cancelled immediately
+                // and never enters a lane.
+                state.refused += 1;
+                state.failed += 1;
+                state.resolutions += 1;
+                let seq = state.resolutions;
+                state.jobs.insert(
+                    id,
+                    JobEntry {
+                        spec,
+                        status: JobStatus::Failed(PipelineError::Cancelled),
+                        submitted: Instant::now(),
+                        resolved_seq: Some(seq),
+                    },
+                );
+                drop(state);
+                self.inner.job_done.notify_all();
+                return id;
+            }
             state.queued_now += 1;
             state.peak_queued = state.peak_queued.max(state.queued_now);
             state.lanes[spec.priority.lane()].push(spec.client, id);
@@ -514,6 +554,23 @@ impl JobQueue {
         id
     }
 
+    /// Graceful shutdown of admission: marks the queue draining (every
+    /// later [`JobQueue::submit`] is refused with
+    /// [`PipelineError::Cancelled`]), then blocks until every job
+    /// admitted before the call has resolved — executed, cancelled or
+    /// deadline-expired, exactly as it would have been anyway. After
+    /// `drain` returns, dropping the queue abandons nothing.
+    pub fn drain(&self) {
+        {
+            let mut state = self.lock();
+            state.draining = true;
+        }
+        let mut state = self.lock();
+        while state.queued_now > 0 || state.running_now > 0 {
+            state = self.inner.job_done.wait(state);
+        }
+    }
+
     /// The job's current status (`None` for an id this queue never
     /// issued). Non-blocking.
     pub fn poll(&self, id: JobId) -> Option<JobStatus> {
@@ -529,7 +586,7 @@ impl JobQueue {
                 JobStatus::Failed(error) => return Err(error.clone()),
                 _ if state.shutdown => return Err(PipelineError::Cancelled),
                 _ => {
-                    state = self.inner.job_done.wait(state).expect("job queue poisoned");
+                    state = self.inner.job_done.wait(state);
                 }
             }
         }
@@ -556,12 +613,7 @@ impl JobQueue {
                         if remaining.is_zero() {
                             return None;
                         }
-                        state = self
-                            .inner
-                            .job_done
-                            .wait_timeout(state, remaining)
-                            .expect("job queue poisoned")
-                            .0;
+                        state = self.inner.job_done.wait_timeout(state, remaining).0;
                     }
                 },
             }
@@ -605,6 +657,7 @@ impl JobQueue {
             executed: state.executed,
             skipped_cancelled: state.skipped_cancelled,
             skipped_deadline: state.skipped_deadline,
+            refused: state.refused,
             queued_now: state.queued_now,
             peak_queued: state.peak_queued,
         }
@@ -620,13 +673,16 @@ impl JobQueue {
             .and_then(|entry| entry.resolved_seq)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        self.inner.state.lock().expect("job queue poisoned")
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.inner.state.lock()
     }
-}
 
-impl Drop for JobQueue {
-    fn drop(&mut self) {
+    /// Shutdown half of [`Drop`]: stop and join the workers, then
+    /// resolve whatever never ran as [`PipelineError::Cancelled`] so no
+    /// job is left in a non-terminal state. Returns how many jobs were
+    /// abandoned that way. Split out of `drop` so tests can observe the
+    /// post-shutdown state; idempotent.
+    fn shutdown_and_reap(&mut self) -> usize {
         {
             let mut state = self.lock();
             state.shutdown = true;
@@ -636,6 +692,46 @@ impl Drop for JobQueue {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are joined: nothing is Running any more, so every
+        // non-terminal entry is a still-queued job the shutdown
+        // abandoned. The documented contract is to quiesce (drain, or
+        // wait each job) before dropping — enforce it loudly in
+        // lock-audit debug builds, resolve quietly otherwise.
+        let mut state = self.lock();
+        let abandoned: Vec<JobId> = state
+            .jobs
+            .iter()
+            .filter(|(_, entry)| !entry.status.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        if cfg!(feature = "lock-audit") && !std::thread::panicking() {
+            debug_assert!(
+                abandoned.is_empty(),
+                "JobQueue dropped with {} unresolved job(s) — quiesce with drain() or wait() \
+                 before dropping",
+                abandoned.len()
+            );
+        }
+        for id in &abandoned {
+            state.resolutions += 1;
+            let seq = state.resolutions;
+            state.failed += 1;
+            state.skipped_cancelled += 1;
+            let entry = state.jobs.get_mut(id).expect("abandoned job exists");
+            entry.status = JobStatus::Failed(PipelineError::Cancelled);
+            entry.resolved_seq = Some(seq);
+        }
+        state.queued_now = 0;
+        state.running_now = 0;
+        drop(state);
+        self.inner.job_done.notify_all();
+        abandoned.len()
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown_and_reap();
     }
 }
 
@@ -653,7 +749,7 @@ fn worker_loop(inner: &QueueInner) {
         // the queue is being dropped, so still-queued jobs are
         // abandoned rather than raced against the join.
         let (id, spec, submitted) = {
-            let mut state = inner.state.lock().expect("job queue poisoned");
+            let mut state = inner.state.lock();
             let id = loop {
                 if state.shutdown {
                     return;
@@ -661,8 +757,9 @@ fn worker_loop(inner: &QueueInner) {
                 if let Some(id) = state.take_next(&inner.config) {
                     break id;
                 }
-                state = inner.work_ready.wait(state).expect("job queue poisoned");
+                state = inner.work_ready.wait(state);
             };
+            state.running_now += 1;
             let entry = state.jobs.get_mut(&id).expect("dispatched job exists");
             entry.status = JobStatus::Running;
             (id, entry.spec.clone(), entry.submitted)
@@ -758,7 +855,8 @@ fn resolve(
     disposition: Disposition,
 ) {
     {
-        let mut state = inner.state.lock().expect("job queue poisoned");
+        let mut state = inner.state.lock();
+        state.running_now -= 1;
         state.resolutions += 1;
         let seq = state.resolutions;
         match disposition {
@@ -892,5 +990,56 @@ mod tests {
         // Dispatches 3 and 6 (every 3rd) serve the batch lane while
         // both lanes hold work; once interactive drains, batch runs.
         assert_eq!(order, vec![100, 101, 200, 102, 103, 201, 202, 203]);
+    }
+
+    /// Dropping a queue with a backlog must not leave waiters hanging:
+    /// the reaper resolves every still-queued job as `Cancelled`. A
+    /// hand-built queue with *no* worker threads makes the backlog
+    /// deterministic (the public constructor rightly refuses
+    /// zero-worker queues). This is the contract-*violating* path, so
+    /// it is compiled out under `lock-audit`, where the drop-time
+    /// `debug_assert` (rightly) fires instead.
+    #[test]
+    #[cfg(not(feature = "lock-audit"))]
+    fn shutdown_reaps_abandoned_jobs_as_cancelled() {
+        let service = sharded();
+        let handle = service.register(graph(1));
+        let mut queue = JobQueue {
+            inner: Arc::new(QueueInner {
+                service: Arc::clone(&service),
+                config: QueueConfig::default(),
+                state: TrackedMutex::new("queue.state", QueueState::default()),
+                work_ready: TrackedCondvar::new("queue.work_ready"),
+                job_done: TrackedCondvar::new("queue.job_done"),
+                next_id: AtomicU64::new(0),
+            }),
+            workers: Vec::new(),
+        };
+        let ids: Vec<JobId> = (0..3)
+            .map(|i| queue.submit(JobSpec::spanner(&handle, alg()).seed(i)))
+            .collect();
+        for id in &ids {
+            assert!(matches!(queue.poll(*id), Some(JobStatus::Queued)));
+        }
+
+        let reaped = queue.shutdown_and_reap();
+
+        assert_eq!(reaped, 3, "every queued job was reaped");
+        for id in &ids {
+            assert!(
+                matches!(
+                    queue.poll(*id),
+                    Some(JobStatus::Failed(PipelineError::Cancelled))
+                ),
+                "abandoned jobs resolve Cancelled, not silently vanish"
+            );
+            assert!(matches!(queue.wait(*id), Err(PipelineError::Cancelled)));
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.skipped_cancelled, 3);
+        assert_eq!(stats.queued_now, 0);
+        assert_eq!(stats.submitted, stats.completed + stats.failed);
+        // Idempotent: a second reap (and the eventual drop) finds nothing.
+        assert_eq!(queue.shutdown_and_reap(), 0);
     }
 }

@@ -71,7 +71,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -84,6 +84,7 @@ use super::{
     Algorithm, Backend, CancelToken, PipelineError, RunReport, SpannerRequest, Verification,
 };
 use crate::result::SpannerResult;
+use crate::sync::{MutexGuard, TrackedCondvar, TrackedMutex};
 
 // ---------------------------------------------------------------------
 // HeapSize
@@ -181,7 +182,7 @@ impl<K: Eq + Hash + Clone, V> LruInner<K, V> {
 #[derive(Debug)]
 pub struct LruStore<K, V> {
     budget: usize,
-    inner: Mutex<LruInner<K, V>>,
+    inner: TrackedMutex<LruInner<K, V>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
@@ -190,13 +191,16 @@ impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
     pub fn new(budget_bytes: usize) -> Self {
         LruStore {
             budget: budget_bytes,
-            inner: Mutex::new(LruInner {
-                map: HashMap::new(),
-                order: std::collections::BTreeMap::new(),
-                used: 0,
-                tick: 0,
-                evictions: 0,
-            }),
+            inner: TrackedMutex::new(
+                "core.lru_store",
+                LruInner {
+                    map: HashMap::new(),
+                    order: std::collections::BTreeMap::new(),
+                    used: 0,
+                    tick: 0,
+                    evictions: 0,
+                },
+            ),
         }
     }
 
@@ -303,8 +307,8 @@ impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, LruInner<K, V>> {
-        self.inner.lock().expect("store poisoned")
+    fn lock(&self) -> MutexGuard<'_, LruInner<K, V>> {
+        self.inner.lock()
     }
 }
 
@@ -456,10 +460,19 @@ struct Counters {
 
 /// The slot counter + condvar a queued waiter parks on. `Arc`'d so a
 /// [`CancelToken`] can hold it as a waiter to wake on cancellation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct AdmissionShared {
-    in_flight: Mutex<usize>,
-    freed: Condvar,
+    in_flight: TrackedMutex<usize>,
+    freed: TrackedCondvar,
+}
+
+impl Default for AdmissionShared {
+    fn default() -> Self {
+        AdmissionShared {
+            in_flight: TrackedMutex::new("service.admission", 0),
+            freed: TrackedCondvar::new("service.admission.freed"),
+        }
+    }
 }
 
 impl super::CancelWaiter for AdmissionShared {
@@ -469,7 +482,7 @@ impl super::CancelWaiter for AdmissionShared {
         // from its last token check until `wait()` releases it) or
         // already observed the fired token — so the notification can
         // never be lost in between.
-        drop(self.in_flight.lock().expect("admission poisoned"));
+        drop(self.in_flight.lock());
         self.freed.notify_all();
     }
 }
@@ -518,7 +531,7 @@ impl Admission {
             return Ok(Permit(None));
         }
         let shared = &self.shared;
-        let mut in_flight = shared.in_flight.lock().expect("admission poisoned");
+        let mut in_flight = shared.in_flight.lock();
         if *in_flight >= self.max_in_flight {
             match self.policy {
                 OverloadPolicy::Reject => {
@@ -538,14 +551,8 @@ impl Admission {
                             break;
                         }
                         in_flight = match guard.deadline_remaining() {
-                            Some(remaining) => {
-                                shared
-                                    .freed
-                                    .wait_timeout(in_flight, remaining)
-                                    .expect("admission poisoned")
-                                    .0
-                            }
-                            None => shared.freed.wait(in_flight).expect("admission poisoned"),
+                            Some(remaining) => shared.freed.wait_timeout(in_flight, remaining).0,
+                            None => shared.freed.wait(in_flight),
                         };
                     }
                 }
@@ -559,11 +566,7 @@ impl Admission {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         if let Some(admission) = self.0 {
-            let mut in_flight = admission
-                .shared
-                .in_flight
-                .lock()
-                .expect("admission poisoned");
+            let mut in_flight = admission.shared.in_flight.lock();
             *in_flight -= 1;
             drop(in_flight);
             admission.shared.freed.notify_one();
@@ -657,7 +660,7 @@ enum Artifact {
 #[derive(Debug)]
 pub struct SpannerService {
     config: ServiceConfig,
-    registry: Mutex<HashMap<u64, GraphHandle>>,
+    registry: TrackedMutex<HashMap<u64, GraphHandle>>,
     store: LruStore<ArtifactKey, Artifact>,
     admission: Admission,
     counters: Counters,
@@ -679,7 +682,7 @@ impl SpannerService {
     pub fn with_config(config: ServiceConfig) -> Self {
         SpannerService {
             config,
-            registry: Mutex::new(HashMap::new()),
+            registry: TrackedMutex::new("service.registry", HashMap::new()),
             store: LruStore::new(config.store_budget_bytes),
             admission: Admission::new(config.max_in_flight, config.overload),
             counters: Counters::default(),
@@ -716,7 +719,7 @@ impl SpannerService {
     /// content" path deterministically.
     pub fn register_keyed(&self, key: u64, graph: impl Into<Arc<Graph>>) -> GraphHandle {
         let graph = graph.into();
-        let mut registry = self.registry.lock().expect("registry poisoned");
+        let mut registry = self.registry.lock();
         match registry.get(&key) {
             Some(existing)
                 if Arc::ptr_eq(&existing.inner.graph, &graph)
@@ -763,7 +766,7 @@ impl SpannerService {
 
     /// Number of currently registered graphs.
     pub fn registered(&self) -> usize {
-        self.registry.lock().expect("registry poisoned").len()
+        self.registry.lock().len()
     }
 
     /// Drops a registration and every artifact derived from it; returns
@@ -771,7 +774,7 @@ impl SpannerService {
     /// `Arc`'d artifacts already handed out) stay usable — invalidation
     /// only empties the *shared* store.
     pub fn invalidate(&self, handle: &GraphHandle) -> usize {
-        let mut registry = self.registry.lock().expect("registry poisoned");
+        let mut registry = self.registry.lock();
         if let Some(current) = registry.get(&handle.inner.key) {
             if current.inner.version == handle.inner.version {
                 registry.remove(&handle.inner.key);

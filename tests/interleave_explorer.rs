@@ -1,0 +1,127 @@
+//! Model-checking the concurrency kernel with the deterministic
+//! interleaving explorer (`vendor/interleave`).
+//!
+//! Only compiled under `--features lock-audit`: that build's tracked
+//! primitives call `interleave::yield_point()` at every lock edge, so
+//! each acquisition, release, and condvar wake becomes a scheduling
+//! decision driven by a seeded RNG. The same seed always replays the
+//! same interleaving — a failing schedule prints its seed, and
+//! `interleave::run_one(seed, scenario)` reproduces it exactly.
+//!
+//! Scenarios here cover the dispatch shape the pipeline's front door
+//! is built from: a producer/consumer queue over
+//! `TrackedMutex`/`TrackedCondvar`. The subscribe-vs-cancel race on
+//! `CancelToken`'s waiter list and the `LruStore` storm are explored
+//! in their own homes (`pipeline::mod` unit tests and
+//! `tests/lru_contention.rs`).
+#![cfg(feature = "lock-audit")]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use interleave::{run_one, Explorer, Sim, Trace};
+use mpc_spanners::core::sync::{TrackedCondvar, TrackedMutex};
+
+/// A minimal JobQueue-shaped scenario: two producers push numbered
+/// items, one consumer blocks on a condvar and drains them. Checked
+/// invariants: nothing lost, nothing duplicated, per-producer order
+/// preserved.
+fn queue_scenario(sim: &Sim) {
+    struct Chan {
+        queue: TrackedMutex<VecDeque<u64>>,
+        ready: TrackedCondvar,
+        pushed: AtomicU64,
+    }
+    let chan = Arc::new(Chan {
+        queue: TrackedMutex::new("scenario.queue", VecDeque::new()),
+        ready: TrackedCondvar::new("scenario.ready"),
+        pushed: AtomicU64::new(0),
+    });
+    const PER_PRODUCER: u64 = 3;
+
+    for p in 0..2u64 {
+        let chan = Arc::clone(&chan);
+        sim.spawn(move || {
+            for i in 0..PER_PRODUCER {
+                let mut q = chan.queue.lock();
+                q.push_back(p * 100 + i);
+                drop(q);
+                chan.pushed.fetch_add(1, Ordering::SeqCst);
+                chan.ready.notify_one();
+            }
+        });
+    }
+
+    let drained = Arc::new(TrackedMutex::new("scenario.drained", Vec::new()));
+    {
+        let chan = Arc::clone(&chan);
+        let drained = Arc::clone(&drained);
+        sim.spawn(move || {
+            let mut got = Vec::new();
+            while (got.len() as u64) < 2 * PER_PRODUCER {
+                let mut q = chan.queue.lock();
+                while q.is_empty() {
+                    q = chan.ready.wait(q);
+                }
+                got.push(q.pop_front().expect("non-empty after wait"));
+            }
+            *drained.lock() = got;
+        });
+    }
+
+    sim.join_all();
+    let got = drained.lock().clone();
+    assert_eq!(
+        got.len() as u64,
+        2 * PER_PRODUCER,
+        "consumer drained exactly what was produced"
+    );
+    let mut sorted = got.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), got.len(), "no item delivered twice");
+    for p in 0..2u64 {
+        let mine: Vec<u64> = got.iter().copied().filter(|v| v / 100 == p).collect();
+        assert_eq!(
+            mine,
+            (0..PER_PRODUCER).map(|i| p * 100 + i).collect::<Vec<_>>(),
+            "per-producer FIFO order preserved"
+        );
+    }
+}
+
+#[test]
+fn queue_scenario_survives_hundreds_of_schedules() {
+    let summary = Explorer::new(250).explore(queue_scenario);
+    assert_eq!(summary.schedules, 250);
+    // With 3 threads and a dozen-odd yield points each, genuinely
+    // distinct interleavings must show up in volume.
+    assert!(
+        summary.distinct_traces >= 25,
+        "explorer degenerated to near-identical schedules: {} distinct of {}",
+        summary.distinct_traces,
+        summary.schedules
+    );
+}
+
+#[test]
+fn same_seed_replays_identical_trace() {
+    let a: Trace = run_one(42, queue_scenario);
+    let b: Trace = run_one(42, queue_scenario);
+    assert_eq!(a, b, "a seed is a complete replay token");
+
+    // And the sweep as a whole is deterministic too.
+    let s1 = Explorer::new(40).base_seed(7).explore(queue_scenario);
+    let s2 = Explorer::new(40).base_seed(7).explore(queue_scenario);
+    assert_eq!(s1.distinct_traces, s2.distinct_traces);
+
+    // Different seeds do explore: across a modest sweep at least two
+    // schedules differ (a single fixed trace would make the explorer
+    // pointless).
+    let mut traces = std::collections::HashSet::new();
+    for seed in 0..20u64 {
+        traces.insert(run_one(seed, queue_scenario));
+    }
+    assert!(traces.len() > 1, "all 20 seeds produced one schedule");
+}

@@ -402,3 +402,118 @@ fn queued_jobs_cancelled_or_expired_never_execute() {
     // Cancelling an already-resolved job is a no-op.
     assert!(!queue.cancel(cancelled));
 }
+
+/// 5. **Graceful drain** — `drain()` returns only once every job
+///    submitted before it resolved, so a queue dropped after a drain
+///    abandons nothing (`lock-audit` builds additionally enforce this
+///    quiesce contract with a drop-time `debug_assert`).
+#[test]
+fn drain_resolves_every_job_before_drop() {
+    let (tier, handle) = warmed_tier(0..6);
+    let queue = JobQueue::start(
+        Arc::clone(&tier),
+        QueueConfig {
+            workers: 2,
+            batch_escape_every: 4,
+        },
+    );
+    let ids: Vec<_> = (0..12u64)
+        .map(|i| {
+            let lane = if i % 2 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            queue.submit(
+                JobSpec::spanner(&handle, alg())
+                    .seed(i % 6)
+                    .client(ClientId(i % 3))
+                    .priority(lane),
+            )
+        })
+        .collect();
+
+    queue.drain();
+
+    for id in &ids {
+        let status = queue.poll(*id).expect("drained job is still known");
+        assert!(
+            status.is_terminal(),
+            "drain returned with an unresolved job: {status:?}"
+        );
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.queued_now, 0, "drain leaves no backlog");
+    assert_eq!(stats.submitted, 12);
+    assert_eq!(
+        stats.completed + stats.failed,
+        12,
+        "every pre-drain job resolved"
+    );
+    // Nothing left to abandon: under `--features lock-audit` the drop
+    // below debug-asserts exactly that.
+    drop(queue);
+}
+
+/// 6. **Drain refuses latecomers** — once `drain()` begins, new
+///    submissions are turned away at the door: they get a valid id that
+///    resolves [`PipelineError::Cancelled`] immediately (no execution,
+///    no lane entry) and are counted in `stats().refused`.
+#[test]
+fn draining_queue_refuses_new_submissions() {
+    let (tier, handle) = warmed_tier(0..1);
+    let (blocker_graph, full) = escalating_blocker(Duration::from_millis(200));
+    let queue = Arc::new(JobQueue::start(
+        Arc::clone(&tier),
+        QueueConfig {
+            workers: 1,
+            batch_escape_every: 4,
+        },
+    ));
+    let _blocker = occupy_worker(&queue, &tier, blocker_graph);
+
+    let drainer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || queue.drain())
+    };
+
+    // `drain()` flips the refusal flag before blocking on quiescence,
+    // and the flag stays up after it returns — so probing until a
+    // submission bounces terminates no matter how fast the machine is.
+    let started = Instant::now();
+    let cap = full * 4 + Duration::from_secs(5);
+    let refused_id = loop {
+        let id = queue.submit(JobSpec::spanner(&handle, alg()).seed(0));
+        if matches!(
+            queue.poll(id),
+            Some(JobStatus::Failed(PipelineError::Cancelled))
+        ) {
+            break id;
+        }
+        assert!(
+            started.elapsed() < cap,
+            "no submission was refused within {cap:?} of starting a drain"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    assert!(
+        matches!(queue.wait(refused_id), Err(PipelineError::Cancelled)),
+        "a refused job resolves Cancelled through the normal wait path"
+    );
+    drainer.join().expect("drain thread");
+
+    let stats = queue.stats();
+    assert!(
+        stats.refused >= 1,
+        "refusals are counted: {}",
+        stats.summary()
+    );
+    assert_eq!(stats.queued_now, 0, "drain leaves no backlog");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed,
+        "every id ever handed out resolved exactly once: {}",
+        stats.summary()
+    );
+}

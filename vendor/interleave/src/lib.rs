@@ -1,0 +1,385 @@
+//! `interleave` — a vendored "loom-lite" for deterministic exploration of
+//! thread interleavings.
+//!
+//! The real [loom](https://github.com/tokio-rs/loom) crate is unavailable in
+//! this environment (no registry access), so this module implements the small
+//! subset the workspace needs: run a multi-threaded *scenario* under a
+//! cooperative scheduler that serialises all managed threads and, at every
+//! [`yield_point`], picks the next runnable thread with a **seeded** RNG.
+//! Running the same scenario with the same seed replays the exact same
+//! schedule; running it across a few hundred seeds explores a few hundred
+//! distinct schedules reproducibly.
+//!
+//! # Model
+//!
+//! * [`run_one`] executes one scenario under one seed and returns the
+//!   [`Trace`] of scheduling decisions. The closure receives a [`Sim`] handle
+//!   used to spawn *managed* threads.
+//! * Managed threads are real OS threads, but only one is ever runnable at a
+//!   time: a token (the `current` index) is handed from thread to thread at
+//!   yield points, so execution is fully serialised and the trace alone
+//!   determines the interleaving.
+//! * [`yield_point`] is a no-op outside a simulation, so instrumented code
+//!   (e.g. `spanner-sync` tracked locks) can call it unconditionally.
+//! * Panics inside any managed thread are caught, the failing **seed is
+//!   printed**, and the panic is re-raised from `run_one` so the schedule can
+//!   be replayed with `run_one(seed, ..)`.
+//!
+//! Blocking primitives must not be used directly by managed threads (a
+//! blocked OS thread would stall the token). Instrumented locks spin with
+//! `try_lock` + [`yield_point`] instead while a simulation is active — see
+//! `spanner-sync`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
+//!
+//! let counter = Arc::new(AtomicU32::new(0));
+//! let trace = interleave::run_one(42, |sim| {
+//!     for _ in 0..2 {
+//!         let counter = Arc::clone(&counter);
+//!         sim.spawn(move || {
+//!             let v = counter.load(Ordering::SeqCst);
+//!             interleave::yield_point();
+//!             counter.store(v + 1, Ordering::SeqCst);
+//!         });
+//!     }
+//!     sim.join_all();
+//! });
+//! // With a non-atomic read-modify-write, some seeds lose an increment —
+//! // that's exactly the class of bug the explorer exists to surface.
+//! assert_eq!(trace, interleave::run_one(42, |sim| {
+//!     for _ in 0..2 {
+//!         let counter = Arc::clone(&counter);
+//!         sim.spawn(move || {
+//!             let v = counter.load(Ordering::SeqCst);
+//!             interleave::yield_point();
+//!             counter.store(v + 1, Ordering::SeqCst);
+//!         });
+//!     }
+//!     sim.join_all();
+//! }));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The sequence of scheduling decisions made during one simulated run.
+///
+/// Each element is the index of the managed thread handed the execution token
+/// (0 is the scenario/root thread). Two runs with the same seed produce equal
+/// traces; a trace therefore identifies a schedule for reproduction purposes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Trace {
+    /// Thread indices in the order they were scheduled.
+    pub decisions: Vec<u32>,
+}
+
+struct SimState {
+    rng: u64,
+    /// Thread currently holding the execution token, if any.
+    current: Option<u32>,
+    /// Threads that are alive and eligible to be scheduled.
+    runnable: Vec<u32>,
+    trace: Vec<u32>,
+    /// Total managed threads registered, including the root (index 0).
+    registered: u32,
+    finished: u32,
+    /// First panic observed in any managed thread, as a display string.
+    panic: Option<String>,
+}
+
+struct SimShared {
+    state: Mutex<SimState>,
+    turn: Condvar,
+}
+
+thread_local! {
+    /// (shared sim, this thread's managed index) — set while a thread is
+    /// participating in a simulation.
+    static ACTIVE: RefCell<Option<(Arc<SimShared>, u32)>> = const { RefCell::new(None) };
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+impl SimState {
+    /// Pick the next thread to run among `runnable`, preferring not to pick
+    /// `exclude` (the yielding thread) unless it is the only one left.
+    fn pick_next(&mut self, exclude: Option<u32>) -> Option<u32> {
+        let mut candidates: Vec<u32> = self
+            .runnable
+            .iter()
+            .copied()
+            .filter(|&t| Some(t) != exclude)
+            .collect();
+        if candidates.is_empty() {
+            candidates.clone_from(&self.runnable);
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        self.rng = xorshift(self.rng);
+        Some(candidates[(self.rng % candidates.len() as u64) as usize])
+    }
+}
+
+impl SimShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimState> {
+        // Tolerate poisoning: a panicking managed thread must not wedge the
+        // scheduler, which still has to hand the token onward and report the
+        // failing seed.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Hand the token to a randomly chosen runnable thread and wait for it to
+    /// come back to `me`.
+    fn yield_now(&self, me: u32) {
+        let mut st = self.lock();
+        match st.pick_next(Some(me)) {
+            Some(next) if next != me => {
+                st.trace.push(next);
+                st.current = Some(next);
+                self.turn.notify_all();
+                while st.current != Some(me) {
+                    st = self.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Block until this thread is handed the token for the first time.
+    fn wait_for_turn(&self, me: u32) {
+        let mut st = self.lock();
+        while st.current != Some(me) {
+            st = self.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mark `me` finished, record any panic, and hand the token onward.
+    fn finish(&self, me: u32, panicked: Option<String>) {
+        let mut st = self.lock();
+        st.runnable.retain(|&t| t != me);
+        st.finished += 1;
+        if let Some(msg) = panicked {
+            if st.panic.is_none() {
+                st.panic = Some(msg);
+            }
+        }
+        let next = st.pick_next(None);
+        st.current = next;
+        if let Some(n) = next {
+            st.trace.push(n);
+        }
+        self.turn.notify_all();
+    }
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Handle given to a scenario for spawning managed threads.
+pub struct Sim {
+    shared: Arc<SimShared>,
+    handles: RefCell<Vec<JoinHandle<()>>>,
+}
+
+impl Sim {
+    /// Spawn a managed thread. It participates in the cooperative schedule:
+    /// it starts only when the scheduler hands it the token, and every
+    /// [`yield_point`] it reaches is a potential preemption.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let index = {
+            let mut st = self.shared.lock();
+            let index = st.registered;
+            st.registered += 1;
+            st.runnable.push(index);
+            index
+        };
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("interleave-{index}"))
+            .spawn(move || {
+                ACTIVE.with(|a| *a.borrow_mut() = Some((Arc::clone(&shared), index)));
+                shared.wait_for_turn(index);
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                ACTIVE.with(|a| *a.borrow_mut() = None);
+                shared.finish(index, result.err().map(payload_to_string));
+            })
+            .expect("interleave: failed to spawn managed thread");
+        self.handles.borrow_mut().push(handle);
+    }
+
+    /// Yield the root thread until every spawned thread has finished, then
+    /// resume as the sole runner. Call this before asserting on shared state.
+    ///
+    /// Must only be called from the scenario (root) thread, and not while
+    /// holding any instrumented lock (spawned threads could never acquire it).
+    pub fn join_all(&self) {
+        let me = current_index().expect("join_all called outside the simulation");
+        assert_eq!(me, 0, "join_all must be called from the scenario thread");
+        let mut st = self.shared.lock();
+        st.runnable.retain(|&t| t != me);
+        let next = st.pick_next(None);
+        st.current = next;
+        if let Some(n) = next {
+            st.trace.push(n);
+            self.shared.turn.notify_all();
+        }
+        while st.finished + 1 < st.registered {
+            st = self.shared.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.runnable.push(me);
+        st.current = Some(me);
+    }
+}
+
+fn current_index() -> Option<u32> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|(_, i)| *i))
+}
+
+/// True while the calling thread is a managed thread of an active simulation.
+///
+/// Instrumented primitives branch on this: inside a simulation they must spin
+/// with `try_lock` + [`yield_point`] instead of blocking.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// A potential preemption point. Inside a simulation the scheduler may hand
+/// the token to another managed thread here; outside one this is a no-op.
+pub fn yield_point() {
+    let active = ACTIVE.with(|a| a.borrow().as_ref().map(|(s, i)| (Arc::clone(s), *i)));
+    if let Some((shared, me)) = active {
+        shared.yield_now(me);
+    }
+}
+
+/// Run one scenario under one seed and return its [`Trace`].
+///
+/// The scenario runs on the calling thread as managed thread 0. If any
+/// managed thread panics, the panic is re-raised here with the seed in the
+/// message so the schedule can be replayed.
+pub fn run_one<F>(seed: u64, scenario: F) -> Trace
+where
+    F: FnOnce(&Sim),
+{
+    let shared = Arc::new(SimShared {
+        state: Mutex::new(SimState {
+            rng: splitmix64(seed) | 1,
+            current: Some(0),
+            runnable: vec![0],
+            trace: vec![0],
+            registered: 1,
+            finished: 0,
+            panic: None,
+        }),
+        turn: Condvar::new(),
+    });
+    let sim = Sim {
+        shared: Arc::clone(&shared),
+        handles: RefCell::new(Vec::new()),
+    };
+    ACTIVE.with(|a| *a.borrow_mut() = Some((Arc::clone(&shared), 0)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| scenario(&sim)));
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+    shared.finish(0, result.err().map(payload_to_string));
+
+    // Wait for every spawned thread to drain, then join the OS handles.
+    {
+        let mut st = shared.lock();
+        while st.finished < st.registered {
+            st = shared.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    for handle in sim.handles.into_inner() {
+        let _ = handle.join();
+    }
+
+    let st = shared.lock();
+    if let Some(msg) = &st.panic {
+        panic!("interleave: scenario failed under seed {seed} — replay with run_one({seed}, ..): {msg}");
+    }
+    Trace {
+        decisions: st.trace.clone(),
+    }
+}
+
+/// Outcome of an [`Explorer`] sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Number of seeded schedules executed.
+    pub schedules: usize,
+    /// Number of distinct [`Trace`]s observed across those schedules.
+    pub distinct_traces: usize,
+}
+
+/// Sweeps a scenario across many seeded schedules.
+///
+/// Seeds are `base_seed..base_seed + schedules`; each is run with
+/// [`run_one`], so any failure reports the seed that triggered it.
+pub struct Explorer {
+    schedules: usize,
+    base_seed: u64,
+}
+
+impl Explorer {
+    /// An explorer that will run `schedules` seeds starting from 0.
+    pub fn new(schedules: usize) -> Self {
+        Explorer {
+            schedules,
+            base_seed: 0,
+        }
+    }
+
+    /// Start the seed sweep at `seed` instead of 0.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Run the scenario under every seed; panics (with the seed) on the first
+    /// failing schedule.
+    pub fn explore<F>(&self, scenario: F) -> Summary
+    where
+        F: Fn(&Sim),
+    {
+        let mut traces = HashSet::new();
+        for i in 0..self.schedules {
+            let seed = self.base_seed.wrapping_add(i as u64);
+            let trace = run_one(seed, &scenario);
+            traces.insert(trace);
+        }
+        Summary {
+            schedules: self.schedules,
+            distinct_traces: traces.len(),
+        }
+    }
+}

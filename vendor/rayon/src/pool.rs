@@ -21,8 +21,10 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread;
+
+use spanner_sync::{TrackedCondvar, TrackedMutex};
 
 /// A boxed chunk task: runs once, produces one `R`.
 pub(crate) type Task<'scope, R> = Box<dyn FnOnce() -> R + Send + 'scope>;
@@ -36,9 +38,9 @@ trait RunOne: Send + Sync {
 }
 
 struct Inner {
-    queue: Mutex<VecDeque<Arc<dyn RunOne>>>,
+    queue: TrackedMutex<VecDeque<Arc<dyn RunOne>>>,
     /// Signalled when tickets are enqueued.
-    available: Condvar,
+    available: TrackedCondvar,
 }
 
 struct Pool {
@@ -66,8 +68,8 @@ fn global() -> &'static Pool {
     POOL.get_or_init(|| {
         let threads = configured_threads();
         let inner = Arc::new(Inner {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            queue: TrackedMutex::new("rayon.queue", VecDeque::new()),
+            available: TrackedCondvar::new("rayon.available"),
         });
         for i in 0..threads.saturating_sub(1) {
             let inner = Arc::clone(&inner);
@@ -83,12 +85,12 @@ fn global() -> &'static Pool {
 fn worker_loop(inner: &Inner) {
     loop {
         let ticket = {
-            let mut q = inner.queue.lock().expect("pool queue poisoned");
+            let mut q = inner.queue.lock();
             loop {
                 if let Some(t) = q.pop_front() {
                     break t;
                 }
-                q = inner.available.wait(q).expect("pool queue poisoned");
+                q = inner.available.wait(q);
             }
         };
         // Serve the ticket's batch until it is drained. Task panics are
@@ -131,13 +133,13 @@ pub(crate) fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// One submitted parallel operation: its tasks, their result slots, and
 /// the claim/completion bookkeeping.
 struct Batch<'scope, R> {
-    tasks: Vec<Mutex<Option<Task<'scope, R>>>>,
-    results: Vec<Mutex<Option<thread::Result<R>>>>,
+    tasks: Vec<TrackedMutex<Option<Task<'scope, R>>>>,
+    results: Vec<TrackedMutex<Option<thread::Result<R>>>>,
     /// Next unclaimed task index; `fetch_add` hands out each index to
     /// exactly one thread.
     cursor: AtomicUsize,
-    remaining: Mutex<usize>,
-    done: Condvar,
+    remaining: TrackedMutex<usize>,
+    done: TrackedCondvar,
 }
 
 impl<R: Send> Batch<'_, R> {
@@ -146,14 +148,10 @@ impl<R: Send> Batch<'_, R> {
         if i >= self.tasks.len() {
             return false;
         }
-        let task = self.tasks[i]
-            .lock()
-            .expect("task slot poisoned")
-            .take()
-            .expect("task claimed twice");
+        let task = self.tasks[i].lock().take().expect("task claimed twice");
         let res = panic::catch_unwind(AssertUnwindSafe(task));
-        *self.results[i].lock().expect("result slot poisoned") = Some(res);
-        let mut rem = self.remaining.lock().expect("batch counter poisoned");
+        *self.results[i].lock() = Some(res);
+        let mut rem = self.remaining.lock();
         *rem -= 1;
         if *rem == 0 {
             self.done.notify_all();
@@ -203,11 +201,17 @@ pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -
 
     let pool = global();
     let batch: Arc<Batch<'scope, R>> = Arc::new(Batch {
-        results: tasks.iter().map(|_| Mutex::new(None)).collect(),
-        tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        results: tasks
+            .iter()
+            .map(|_| TrackedMutex::new("rayon.result", None))
+            .collect(),
+        tasks: tasks
+            .into_iter()
+            .map(|t| TrackedMutex::new("rayon.task", Some(t)))
+            .collect(),
         cursor: AtomicUsize::new(0),
-        remaining: Mutex::new(n),
-        done: Condvar::new(),
+        remaining: TrackedMutex::new("rayon.batch.remaining", n),
+        done: TrackedCondvar::new("rayon.batch.done"),
     });
 
     // SAFETY: the queue stores `'static` tickets, but this batch borrows
@@ -224,7 +228,7 @@ pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -
     // n threads" rather than merely "splits into n·CHUNKS chunks".
     let tickets = n.min(cap - 1);
     {
-        let mut q = pool.inner.queue.lock().expect("pool queue poisoned");
+        let mut q = pool.inner.queue.lock();
         for _ in 0..tickets {
             q.push_back(Arc::clone(&ticket));
         }
@@ -235,9 +239,9 @@ pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -
     while batch.run_claimed() {}
     // …then waits for tasks claimed by workers.
     {
-        let mut rem = batch.remaining.lock().expect("batch counter poisoned");
+        let mut rem = batch.remaining.lock();
         while *rem > 0 {
-            rem = batch.done.wait(rem).expect("batch counter poisoned");
+            rem = batch.done.wait(rem);
         }
     }
     // Remove this batch's leftover tickets (tasks the caller claimed
@@ -245,7 +249,7 @@ pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -
     // batch run *from a worker* could leave tickets nobody ever pops —
     // and the strong-count wait below would spin forever.
     {
-        let mut q = pool.inner.queue.lock().expect("pool queue poisoned");
+        let mut q = pool.inner.queue.lock();
         q.retain(|t| !Arc::ptr_eq(t, &ticket));
     }
     drop(ticket);
@@ -260,10 +264,7 @@ pub(crate) fn run_batch<'scope, R: Send + 'scope>(tasks: Vec<Task<'scope, R>>) -
     let mut out = Vec::with_capacity(n);
     let mut first_panic = None;
     for slot in batch.results {
-        let res = slot
-            .into_inner()
-            .expect("result slot poisoned")
-            .expect("every task ran to completion");
+        let res = slot.into_inner().expect("every task ran to completion");
         match res {
             Ok(r) => out.push(r),
             Err(p) => {

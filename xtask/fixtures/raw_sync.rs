@@ -1,0 +1,11 @@
+// Seeded violation for the raw-sync lint: pipeline code constructing raw
+// std::sync primitives instead of the tracked ones. Never compiled — read by
+// xtask's fixture tests with a virtual pipeline path.
+use std::sync::{Condvar, Mutex, RwLock};
+
+fn seeded() {
+    let state = Mutex::new(0u32);
+    let ready = Condvar::new();
+    let table = RwLock::new(Vec::<u32>::new());
+    let _ = (state, ready, table);
+}

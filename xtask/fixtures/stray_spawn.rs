@@ -1,0 +1,10 @@
+// Seeded violation for the stray-spawn lint: ad-hoc threads outside the
+// sanctioned nurseries. Never compiled — read by xtask's fixture tests.
+fn seeded() {
+    let a = std::thread::spawn(|| 1 + 1);
+    let b = std::thread::Builder::new()
+        .name("rogue".into())
+        .spawn(|| ())
+        .unwrap();
+    let _ = (a.join(), b.join());
+}

@@ -1,0 +1,8 @@
+// Seeded violation for the unsafe-comment lint: an unsafe block with no
+// justifying comment anywhere near it. Never compiled — read by xtask's
+// fixture tests.
+fn seeded(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+unsafe fn seeded_fn() {}

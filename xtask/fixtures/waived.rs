@@ -1,0 +1,16 @@
+// Every violation from the other fixtures, each carrying a waiver — the
+// fixture tests assert this file lints clean under a path where all four
+// lints are in scope. Never compiled.
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn seeded() {
+    // analyze:allow(raw-sync): fixture demonstrating the waiver syntax
+    let state = Mutex::new(0u32);
+    let worker = std::thread::spawn(|| ()); // analyze:allow(stray-spawn): fixture
+    // analyze:allow(wall-clock): fixture
+    let started = Instant::now();
+    // analyze:allow(unsafe-comment): fixture
+    let value = unsafe { core::mem::zeroed::<u32>() };
+    let _ = (state, worker.join(), started, value);
+}

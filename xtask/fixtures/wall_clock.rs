@@ -1,0 +1,10 @@
+// Seeded violation for the wall-clock lint: model-cost code reading the host
+// clock. Never compiled — read by xtask's fixture tests with virtual
+// mpc-runtime / clique / pram_cost paths.
+use std::time::{Instant, SystemTime};
+
+fn seeded_round_cost() -> u64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}

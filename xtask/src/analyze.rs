@@ -1,0 +1,402 @@
+//! The `cargo xtask analyze` lint pass.
+//!
+//! Four repo-specific lints, all textual (no syn available offline), each
+//! scoped to where the rule actually applies:
+//!
+//! * **raw-sync** — constructing `std::sync::{Mutex, Condvar, RwLock}` inside
+//!   `crates/core/src/pipeline/`. Pipeline code must use the tracked
+//!   primitives from `spanner-sync` (re-exported at `spanner_core::sync`) so
+//!   the `lock-audit` build audits every lock.
+//! * **stray-spawn** — `std::thread::spawn` / `thread::Builder` outside the
+//!   sanctioned thread nurseries (`vendor/rayon`, `vendor/interleave`,
+//!   `xtask`) and outside test code. Ad-hoc threads bypass the pool's
+//!   `RAYON_NUM_THREADS` discipline.
+//! * **wall-clock** — `Instant::now` / `SystemTime` inside round/word-
+//!   accounting model code (`crates/mpc-runtime`, `pipeline/clique.rs`,
+//!   `pipeline/pram_cost.rs`). Model costs must be derived from the
+//!   communication structure, never from the host's clock.
+//! * **unsafe-comment** — an `unsafe` block/fn/impl with no `// SAFETY:`
+//!   comment within the preceding ten lines.
+//!
+//! A finding on a given line is waived when that line or the line directly
+//! above contains `analyze:allow(<lint-name>)` — prefer
+//! `// analyze:allow(stray-spawn): why this one is sound`.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lint {
+    RawSync,
+    StraySpawn,
+    WallClock,
+    UnsafeComment,
+}
+
+impl Lint {
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::RawSync => "raw-sync",
+            Lint::StraySpawn => "stray-spawn",
+            Lint::WallClock => "wall-clock",
+            Lint::UnsafeComment => "unsafe-comment",
+        }
+    }
+
+    pub fn message(self) -> &'static str {
+        match self {
+            Lint::RawSync => {
+                "raw std::sync primitive constructed in pipeline code — use the tracked \
+                 primitives from spanner_core::sync so lock-audit builds see it"
+            }
+            Lint::StraySpawn => {
+                "thread spawned outside the sanctioned nurseries (vendor/rayon, \
+                 vendor/interleave, xtask) — route work through the pool"
+            }
+            Lint::WallClock => {
+                "wall-clock read inside model-cost code — rounds/words must come from the \
+                 communication structure, not the host clock"
+            }
+            Lint::UnsafeComment => "unsafe without a `// SAFETY:` comment in the 10 lines above",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug)]
+pub struct Violation {
+    pub lint: Lint,
+    pub file: PathBuf,
+    pub line: usize,
+    pub excerpt: String,
+}
+
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+}
+
+/// Scan the workspace rooted at `root` and return every violation.
+pub fn run(root: &Path) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+    let mut violations = Vec::new();
+    for rel in &files {
+        let content = match fs::read_to_string(root.join(rel)) {
+            Ok(c) => c,
+            Err(_) => continue, // non-UTF8 or unreadable: nothing to lint
+        };
+        violations.extend(lint_file(rel, &content));
+    }
+    Report {
+        files_scanned: files.len(),
+        violations,
+    }
+}
+
+/// Walk `dir`, accumulating workspace-relative paths of `.rs` files.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `xtask/fixtures` holds *deliberate* violations for the lint
+            // self-tests; `target`/`.git` are build products.
+            if name == "target" || name == ".git" || path.ends_with("xtask/fixtures") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+fn path_has_prefix(path: &Path, prefix: &str) -> bool {
+    path.starts_with(Path::new(prefix))
+}
+
+/// Is this file test/bench/example code, where the spawn rule does not apply?
+fn is_test_like_path(path: &Path) -> bool {
+    path.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples") | Some("fixtures")
+        )
+    })
+}
+
+fn is_waived(lines: &[&str], idx: usize, lint: Lint) -> bool {
+    let needle = format!("analyze:allow({})", lint.name());
+    if lines[idx].contains(&needle) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].contains(&needle)
+}
+
+/// True when `hay[pos..]` starts a match that is not preceded by an
+/// identifier character (so `Mutex::new` doesn't match `TrackedMutex::new`).
+fn standalone_match(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(off) = hay[from..].find(needle) {
+        let pos = from + off;
+        let preceded = pos > 0
+            && hay[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return Some(pos);
+        }
+        from = pos + needle.len();
+    }
+    None
+}
+
+fn excerpt(line: &str) -> String {
+    let t = line.trim();
+    if t.chars().count() > 120 {
+        let head: String = t.chars().take(119).collect();
+        format!("{head}…")
+    } else {
+        t.to_string()
+    }
+}
+
+/// Lint one file's content. `rel` is the workspace-relative path, which is
+/// what decides the scope each lint applies at — the fixture tests exploit
+/// this by passing virtual paths.
+pub fn lint_file(rel: &Path, content: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+
+    let in_pipeline = path_has_prefix(rel, "crates/core/src/pipeline");
+    let spawn_exempt = path_has_prefix(rel, "vendor/rayon")
+        || path_has_prefix(rel, "vendor/interleave")
+        || path_has_prefix(rel, "xtask")
+        || is_test_like_path(rel);
+    let model_code = path_has_prefix(rel, "crates/mpc-runtime")
+        || rel == Path::new("crates/core/src/pipeline/clique.rs")
+        || rel == Path::new("crates/core/src/pipeline/pram_cost.rs");
+
+    // Lines from the first `#[cfg(test)]` onward are unit-test code; the
+    // spawn rule stops applying there (tests may drive threads directly).
+    let first_test_line = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    for (idx, &line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = match line.find("//") {
+            // Strip comments so prose about e.g. `Mutex::new` can't fire,
+            // but keep the full line for the SAFETY scan below.
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+
+        if in_pipeline {
+            for needle in ["Mutex::new", "Condvar::new", "RwLock::new"] {
+                if standalone_match(code, needle).is_some()
+                    && !is_waived(&lines, idx, Lint::RawSync)
+                {
+                    out.push(Violation {
+                        lint: Lint::RawSync,
+                        file: rel.to_path_buf(),
+                        line: lineno,
+                        excerpt: excerpt(line),
+                    });
+                }
+            }
+        }
+
+        if !spawn_exempt && idx < first_test_line {
+            let spawns = standalone_match(code, "thread::spawn").is_some()
+                || standalone_match(code, "thread::Builder").is_some()
+                || code.contains("std::thread::spawn");
+            if spawns && !is_waived(&lines, idx, Lint::StraySpawn) {
+                out.push(Violation {
+                    lint: Lint::StraySpawn,
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    excerpt: excerpt(line),
+                });
+            }
+        }
+
+        if model_code {
+            let clocky =
+                code.contains("Instant::now") || standalone_match(code, "SystemTime").is_some();
+            if clocky && !is_waived(&lines, idx, Lint::WallClock) {
+                out.push(Violation {
+                    lint: Lint::WallClock,
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    excerpt: excerpt(line),
+                });
+            }
+        }
+
+        // unsafe-comment applies everywhere we scan.
+        let is_unsafe_site = standalone_match(code, "unsafe fn").is_some() // analyze:allow(unsafe-comment)
+            || standalone_match(code, "unsafe impl").is_some() // analyze:allow(unsafe-comment)
+            || standalone_match(code, "unsafe {").is_some(); // analyze:allow(unsafe-comment)
+        if is_unsafe_site && !is_waived(&lines, idx, Lint::UnsafeComment) {
+            let has_safety = lines[idx.saturating_sub(10)..=idx]
+                .iter()
+                .any(|l| l.contains("SAFETY:"));
+            if !has_safety {
+                out.push(Violation {
+                    lint: Lint::UnsafeComment,
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    excerpt: excerpt(line),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+    }
+
+    fn lints_fired(rel: &str, content: &str) -> Vec<Lint> {
+        lint_file(Path::new(rel), content)
+            .into_iter()
+            .map(|v| v.lint)
+            .collect()
+    }
+
+    #[test]
+    fn raw_sync_fires_in_pipeline_code() {
+        let fired = lints_fired(
+            "crates/core/src/pipeline/seeded.rs",
+            &fixture("raw_sync.rs"),
+        );
+        assert!(fired.contains(&Lint::RawSync), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn raw_sync_ignores_code_outside_the_pipeline() {
+        let fired = lints_fired("crates/graph/src/seeded.rs", &fixture("raw_sync.rs"));
+        assert!(!fired.contains(&Lint::RawSync), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn raw_sync_does_not_match_tracked_constructors() {
+        let fired = lints_fired(
+            "crates/core/src/pipeline/seeded.rs",
+            "let m = TrackedMutex::new(\"x\", 0);\nlet c = TrackedCondvar::new(\"y\");\n",
+        );
+        assert!(fired.is_empty(), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn stray_spawn_fires_outside_nurseries() {
+        let fired = lints_fired("crates/core/src/seeded.rs", &fixture("stray_spawn.rs"));
+        assert!(fired.contains(&Lint::StraySpawn), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn stray_spawn_exempts_nurseries_and_tests() {
+        let content = fixture("stray_spawn.rs");
+        for rel in [
+            "vendor/rayon/src/seeded.rs",
+            "vendor/interleave/src/seeded.rs",
+            "xtask/src/seeded.rs",
+            "tests/seeded.rs",
+        ] {
+            let fired = lints_fired(rel, &content);
+            assert!(!fired.contains(&Lint::StraySpawn), "{rel} fired: {fired:?}");
+        }
+        // …and unit-test modules inside otherwise-linted files.
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{content}\n}}\n");
+        let fired = lints_fired("crates/core/src/seeded.rs", &in_test_mod);
+        assert!(!fired.contains(&Lint::StraySpawn), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn wall_clock_fires_in_model_code() {
+        let content = fixture("wall_clock.rs");
+        for rel in [
+            "crates/mpc-runtime/src/seeded.rs",
+            "crates/core/src/pipeline/clique.rs",
+            "crates/core/src/pipeline/pram_cost.rs",
+        ] {
+            let fired = lints_fired(rel, &content);
+            assert!(fired.contains(&Lint::WallClock), "{rel} fired: {fired:?}");
+        }
+        let fired = lints_fired("crates/core/src/pipeline/service.rs", &content);
+        assert!(!fired.contains(&Lint::WallClock), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn unsafe_comment_fires_without_safety() {
+        let fired = lints_fired(
+            "crates/graph/src/seeded.rs",
+            &fixture("unsafe_no_safety.rs"),
+        );
+        assert!(fired.contains(&Lint::UnsafeComment), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn unsafe_comment_accepts_nearby_safety() {
+        let content = "// SAFETY: the buffer outlives the call.\nlet x = unsafe { f() };\n";
+        let fired = lints_fired("crates/graph/src/seeded.rs", content);
+        assert!(fired.is_empty(), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn waivers_suppress_every_lint() {
+        // clique.rs is in scope for all four lints: pipeline dir (raw-sync),
+        // non-nursery non-test (stray-spawn), and model code (wall-clock).
+        let fired = lint_file(
+            Path::new("crates/core/src/pipeline/clique.rs"),
+            &fixture("waived.rs"),
+        );
+        assert!(fired.is_empty(), "waived fixture still fired: {fired:?}");
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let report = run(&root);
+        assert!(
+            report.files_scanned > 30,
+            "scanned {}",
+            report.files_scanned
+        );
+        assert!(
+            report.violations.is_empty(),
+            "workspace should be lint-clean: {:#?}",
+            report.violations
+        );
+    }
+}

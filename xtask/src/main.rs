@@ -1,0 +1,67 @@
+//! Repo-specific developer tasks. The one that matters is
+//!
+//! ```text
+//! cargo xtask analyze
+//! ```
+//!
+//! a static lint pass over the workspace sources enforcing the concurrency
+//! rules that `rustc`/`clippy` cannot express for us (see [`analyze`] for the
+//! lint list and the waiver syntax). Exits non-zero when any lint fires, so
+//! CI can gate on it.
+
+mod analyze;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one level up
+    // from this crate's manifest.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask must live inside the workspace")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => {
+            let root = workspace_root();
+            let report = analyze::run(&root);
+            for v in &report.violations {
+                println!(
+                    "{}:{}: [{}] {}\n    {}",
+                    v.file.display(),
+                    v.line,
+                    v.lint.name(),
+                    v.lint.message(),
+                    v.excerpt
+                );
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "analyze: ok — {} files scanned, 0 violations",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "analyze: {} violation(s) in {} files scanned; waive a line with \
+                     `// analyze:allow(<lint>): reason` on it or the line above",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask analyze");
+            eprintln!();
+            eprintln!("tasks:");
+            eprintln!("  analyze   static concurrency lints (raw-sync, stray-spawn,");
+            eprintln!("            wall-clock, unsafe-comment); non-zero exit on violation");
+            ExitCode::FAILURE
+        }
+    }
+}
