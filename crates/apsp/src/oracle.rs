@@ -157,7 +157,7 @@ pub struct MpcApspRun {
 /// Shim over [`DistanceRequest`] on [`Backend::Mpc`].
 pub fn mpc_build_oracle(g: &Graph, seed: u64) -> mpc_runtime::Result<MpcApspRun> {
     let oracle = apsp_request(g)
-        .on(Backend::Mpc(MpcDeployment::NearLinear))
+        .on(Backend::mpc_deployment(MpcDeployment::NearLinear))
         .seed(seed)
         .build()
         .map_err(|e| match e {
@@ -248,7 +248,7 @@ mod tests {
         // construction's own rounds.
         assert_eq!(run.gather_rounds, 1, "direct gather costs exactly +1");
         let construction = SpannerRequest::new(&g, Algorithm::General(apsp_params(g.n())))
-            .on(Backend::Mpc(MpcDeployment::NearLinear))
+            .on(Backend::mpc_deployment(MpcDeployment::NearLinear))
             .seed(21)
             .run()
             .expect("in-model construction")

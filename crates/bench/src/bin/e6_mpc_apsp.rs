@@ -8,7 +8,7 @@
 
 use spanner_apsp::{apsp_request, measure_distance_oracle};
 use spanner_bench::table::{f2, Table};
-use spanner_core::pipeline::{Backend, MpcDeployment};
+use spanner_core::pipeline::{Backend, MpcDeployment, NetworkModel};
 use spanner_graph::generators::{Family, WeightModel};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         let g = Family::ErdosRenyi { n, avg_deg: 12.0 }.generate(WeightModel::PowersOfTwo(8), 0xE6);
         let params = spanner_apsp::oracle::apsp_params(n);
         let oracle = apsp_request(&g)
-            .on(Backend::Mpc(MpcDeployment::NearLinear))
+            .on(Backend::mpc_deployment(MpcDeployment::NearLinear))
             .seed(0x6E)
             .build()
             .expect("in-model APSP");
@@ -58,4 +58,50 @@ fn main() {
     t.print();
     println!("\n(guarantee = 2·k^s with k = ceil(log2 n), s = log(2t+1)/log(t+1);");
     println!(" mpc rounds include the single gather round)");
+
+    // Re-run the largest build on the threaded executor under two
+    // cluster shapes: predicted wall-clock next to the round count.
+    println!("\n## Predicted cluster latency (threaded executor, FullMesh)\n");
+    let n = 1024usize;
+    let g = Family::ErdosRenyi { n, avg_deg: 12.0 }.generate(WeightModel::PowersOfTwo(8), 0xE6);
+    let reference = apsp_request(&g)
+        .on(Backend::mpc_deployment(MpcDeployment::NearLinear))
+        .seed(0x6E)
+        .build()
+        .expect("loop-executor reference");
+    let mut t = Table::new(&["n", "network", "rounds", "predicted wall-clock"]);
+    for model in [
+        NetworkModel::FullMesh {
+            latency_s: 100e-6,
+            bytes_per_sec: 10e9,
+        },
+        NetworkModel::FullMesh {
+            latency_s: 2e-3,
+            bytes_per_sec: 1e9,
+        },
+    ] {
+        let oracle = apsp_request(&g)
+            .on(Backend::mpc_deployment(MpcDeployment::NearLinear).threaded(model))
+            .seed(0x6E)
+            .build()
+            .expect("threaded APSP");
+        assert_eq!(
+            oracle.spanner_edges(),
+            reference.spanner_edges(),
+            "threaded executor must be bit-identical to the loop executor"
+        );
+        let stats = oracle.stats().execution.mpc().expect("mpc stats");
+        t.row(vec![
+            n.to_string(),
+            model.label(),
+            stats.metrics.rounds.to_string(),
+            format!(
+                "{:.4}s",
+                stats.predicted_time.expect("threaded runs predict")
+            ),
+        ]);
+    }
+    t.print();
+    println!("\n(predictions are simulated seconds from the network model;");
+    println!(" both runs are asserted bit-identical to the loop executor)");
 }

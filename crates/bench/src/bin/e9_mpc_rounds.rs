@@ -10,10 +10,12 @@
 //!    grow iteration, and the bit-for-bit agreement with the sequential
 //!    reference.
 
-use mpc_runtime::{comm, primitives, Dist, MpcConfig, MpcSystem};
+use mpc_runtime::{comm, primitives, Dist, ExecutorKind, MpcConfig, MpcSystem, NetworkModel};
 use spanner_bench::table::{f2, Table};
 use spanner_bench::workloads;
-use spanner_core::mpc_driver::mpc_general_spanner_with_config;
+use spanner_core::mpc_driver::{
+    mpc_general_spanner_with_config, mpc_general_spanner_with_executor,
+};
 use spanner_core::{general_spanner, BuildOptions, TradeoffParams};
 
 fn main() {
@@ -120,4 +122,37 @@ fn main() {
         t3.row(vec![op.to_string(), rounds.to_string()]);
     }
     t3.print();
+
+    println!("\n## Predicted wall-clock under network models (S = 4096, threaded executor)\n");
+    let cfg = MpcConfig::explicit(4096, input_words.div_ceil(4096).max(2), 8);
+    let mut t4 = Table::new(&["S (words)", "P", "rounds", "network", "predicted"]);
+    for model in [
+        NetworkModel::FullMesh {
+            latency_s: 100e-6,
+            bytes_per_sec: 10e9,
+        },
+        NetworkModel::FullMesh {
+            latency_s: 2e-3,
+            bytes_per_sec: 1e9,
+        },
+    ] {
+        let run =
+            mpc_general_spanner_with_executor(&g, params, cfg, ExecutorKind::Threaded(model), 0xE9)
+                .unwrap();
+        assert_eq!(
+            run.result.edges, seq.edges,
+            "threaded executor must rebuild the sequential spanner bit for bit"
+        );
+        let report = run.net.as_ref().expect("threaded runs carry a NetReport");
+        t4.row(vec![
+            "4096".to_string(),
+            cfg.num_machines.to_string(),
+            run.metrics.rounds.to_string(),
+            model.label(),
+            format!("{:.4}s", report.total_seconds),
+        ]);
+    }
+    t4.print();
+    println!("\n(simulated seconds: each round charged latency + critical-link bytes/bandwidth;");
+    println!(" both runs asserted bit-identical to the sequential reference)");
 }

@@ -621,7 +621,7 @@ impl<'g> DistanceRequest<'g> {
             query_stretch_factor: factor,
             engine: self.engine,
             gather_rounds: match self.spanner.backend() {
-                Backend::Mpc(_) => Some(1),
+                Backend::Mpc { .. } => Some(1),
                 _ => None,
             },
             spanner,
@@ -692,7 +692,13 @@ impl<'g> DistanceRequest<'g> {
         let (execution, gather_rounds) = match report.stats {
             ExecutionStats::Mpc(ref stats) => {
                 let mut metrics = stats.metrics.clone();
-                let mut sys = MpcSystem::new(stats.config);
+                // The gather runs on the same executor as the build, so
+                // a threaded run also prices it into the net report.
+                let executor = match self.spanner.backend() {
+                    Backend::Mpc { executor, .. } => executor,
+                    _ => mpc_runtime::ExecutorKind::Loop,
+                };
+                let mut sys = MpcSystem::with_executor(stats.config, executor);
                 let ids: Vec<u64> = result.edges.iter().map(|&id| id as u64).collect();
                 let dist = Dist::distribute(&mut sys, ids)?;
                 let before = sys.metrics().clone();
@@ -704,12 +710,29 @@ impl<'g> DistanceRequest<'g> {
                 metrics.total_comm_words += after.total_comm_words - before.total_comm_words;
                 metrics.max_send_words = metrics.max_send_words.max(after.max_send_words);
                 metrics.max_recv_words = metrics.max_recv_words.max(after.max_recv_words);
+                metrics.critical_send_words +=
+                    after.critical_send_words - before.critical_send_words;
+                metrics.critical_recv_words +=
+                    after.critical_recv_words - before.critical_recv_words;
+                metrics.critical_link_words +=
+                    after.critical_link_words - before.critical_link_words;
                 metrics.peak_machine_words =
                     metrics.peak_machine_words.max(after.peak_machine_words);
+                let net = match (&stats.net, sys.net_report()) {
+                    (Some(build), Some(gather)) => {
+                        let mut merged = build.clone();
+                        merged.absorb(gather);
+                        Some(merged)
+                    }
+                    (Some(build), None) => Some(build.clone()),
+                    (None, gather) => gather.cloned(),
+                };
                 (
                     ExecutionStats::Mpc(MpcStats {
                         metrics,
                         config: stats.config,
+                        predicted_time: net.as_ref().map(|r| r.total_seconds),
+                        net,
                     }),
                     Some(gather_rounds),
                 )

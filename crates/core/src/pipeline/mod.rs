@@ -120,6 +120,10 @@ pub use shard::ShardedService;
 pub use crate::params::ParamError;
 pub use crate::presets::CorollarySetting;
 pub use crate::unweighted_ok::UnweightedOkStats;
+// The executor knob and its network vocabulary, so callers can build a
+// `Backend::Mpc { .. }` (or `.threaded(model)`) without importing
+// mpc-runtime directly.
+pub use mpc_runtime::{ExecutorKind, NetReport, NetworkModel};
 
 // ---------------------------------------------------------------------
 // Request vocabulary
@@ -295,7 +299,14 @@ pub enum Backend {
     #[default]
     Sequential,
     /// The MPC simulator: measured rounds/traffic, enforced memory.
-    Mpc(MpcDeployment),
+    Mpc {
+        /// How machine count / words per machine are derived.
+        deployment: MpcDeployment,
+        /// Which physical engine runs the simulated machines (the
+        /// threaded engine additionally predicts cluster wall-clock
+        /// under its network model).
+        executor: ExecutorKind,
+    },
     /// The Congested Clique with Section 8's parallel repetition
     /// (`repetitions = 1` disables the w.h.p. amplification and is
     /// coin-identical to `Sequential`).
@@ -312,12 +323,33 @@ pub enum Backend {
 impl Backend {
     /// The default MPC deployment (`γ = 0.5`, strongly sublinear).
     pub fn mpc() -> Self {
-        Backend::Mpc(MpcDeployment::StronglySublinear { gamma: 0.5 })
+        Backend::mpc_deployment(MpcDeployment::StronglySublinear { gamma: 0.5 })
     }
 
     /// A strongly sublinear MPC deployment with explicit `γ`.
     pub fn mpc_gamma(gamma: f64) -> Self {
-        Backend::Mpc(MpcDeployment::StronglySublinear { gamma })
+        Backend::mpc_deployment(MpcDeployment::StronglySublinear { gamma })
+    }
+
+    /// An MPC backend with the given deployment on the (default) loop
+    /// executor. Accepts an [`MpcDeployment`] or a bare [`MpcConfig`].
+    pub fn mpc_deployment(deployment: impl Into<MpcDeployment>) -> Self {
+        Backend::Mpc {
+            deployment: deployment.into(),
+            executor: ExecutorKind::Loop,
+        }
+    }
+
+    /// Switches an MPC backend onto the thread-per-machine executor,
+    /// pricing rounds under `model`. No-op for non-MPC backends.
+    pub fn threaded(self, model: NetworkModel) -> Self {
+        match self {
+            Backend::Mpc { deployment, .. } => Backend::Mpc {
+                deployment,
+                executor: ExecutorKind::Threaded(model),
+            },
+            other => other,
+        }
     }
 
     /// The Congested Clique without repetition amplification
@@ -330,7 +362,7 @@ impl Backend {
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Sequential => "sequential",
-            Backend::Mpc(_) => "mpc",
+            Backend::Mpc { .. } => "mpc",
             Backend::CongestedClique { .. } => "congested-clique",
             Backend::Pram => "pram",
             Backend::Streaming => "streaming",
@@ -339,7 +371,7 @@ impl Backend {
 
     fn validate(&self) -> Result<(), PipelineError> {
         match self {
-            Backend::Mpc(dep) => dep.validate(),
+            Backend::Mpc { deployment, .. } => deployment.validate(),
             Backend::CongestedClique { repetitions } => {
                 if *repetitions == 0 {
                     Err(PipelineError::InvalidRequest(
@@ -652,6 +684,11 @@ pub struct MpcStats {
     pub metrics: Metrics,
     /// The deployment that ran.
     pub config: MpcConfig,
+    /// Predicted cluster wall-clock in simulated seconds, when the run
+    /// used the threaded executor with a network model.
+    pub predicted_time: Option<f64>,
+    /// The full simulated-network report (threaded executor only).
+    pub net: Option<NetReport>,
 }
 
 /// Congested Clique rounds and the Section 8 repetition trace.
@@ -784,12 +821,18 @@ impl ExecutionStats {
     pub fn summary(&self) -> String {
         match self {
             ExecutionStats::Sequential => "sequential".into(),
-            ExecutionStats::Mpc(s) => format!(
-                "mpc[S={}w,P={}]: {}",
-                s.config.machine_words,
-                s.config.num_machines,
-                s.metrics.summary()
-            ),
+            ExecutionStats::Mpc(s) => {
+                let mut line = format!(
+                    "mpc[S={}w,P={}]: {}",
+                    s.config.machine_words,
+                    s.config.num_machines,
+                    s.metrics.summary()
+                );
+                if let Some(t) = s.predicted_time {
+                    line.push_str(&format!(" predicted={t:.4}s"));
+                }
+                line
+            }
             ExecutionStats::CongestedClique(s) => format!(
                 "cc[R={}]: rounds={} comm={}w",
                 s.repetitions, s.rounds, s.total_words
@@ -1146,16 +1189,21 @@ impl<'g> SpannerRequest<'g> {
                 self.run_sequential(plan, guard)?,
                 ExecutionStats::Sequential,
             )),
-            Backend::Mpc(deployment) => {
+            Backend::Mpc {
+                deployment,
+                executor,
+            } => {
                 let params = plan.schedule.expect("plan() rejects non-engine algorithms");
                 let config = deployment.config(g);
-                let run = crate::mpc_driver::run_mpc(g, params, config, seed)?;
+                let run = crate::mpc_driver::run_mpc(g, params, config, executor, seed)?;
                 let result = self.finish_engine_result(run.result, plan);
                 Ok((
                     result,
                     ExecutionStats::Mpc(MpcStats {
                         metrics: run.metrics,
                         config: run.config,
+                        predicted_time: run.net.as_ref().map(|r| r.total_seconds),
+                        net: run.net,
                     }),
                 ))
             }

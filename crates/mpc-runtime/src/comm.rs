@@ -12,8 +12,19 @@
 //! `collect` — e.g. [`route`] delivers records in (source machine, source
 //! position) order, which [`crate::primitives::sort_by_key`]'s rebalance
 //! step depends on — so results are identical at every thread count.
+//!
+//! Executors: every primitive charges rounds/traffic through shared code
+//! and only then moves the data, either in-process (`deliver`, the loop
+//! executor) or through the `spanner-net` thread-per-machine router
+//! ([`fn@spanner_net::exchange`], the threaded executor). The physical
+//! exchange delivers in the same (source machine, source position) order,
+//! so both executors are bit-identical; wire traffic observed by the
+//! exchange feeds the network report (self-delivery stays free, and
+//! synthetic pipelined rounds — e.g. chunked broadcast — are priced from
+//! the shared charge formulas even where the physical waves differ).
 
 use rayon::prelude::*;
+use spanner_net::exchange;
 
 use crate::dist::Dist;
 use crate::record::Record;
@@ -74,7 +85,14 @@ pub fn route<T: Record>(
 
     // Deliver deterministically: destination shards ordered by source
     // machine, then by position within the source shard.
-    let new_shards = deliver(p, outboxes);
+    let new_shards = match sys.pool_handle() {
+        Some(pool) => {
+            let (shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+            sys.note_exchange_traffic(&sent_w, &recv_w);
+            shards
+        }
+        None => deliver(p, outboxes),
+    };
     sys.check_all_storage(&new_shards, op)?;
     Ok(Dist::from_shards(new_shards))
 }
@@ -179,7 +197,14 @@ pub fn route_with<T: Record>(
                 .collect()
         })
         .collect();
-    let new_shards = deliver(p, outboxes);
+    let new_shards = match sys.pool_handle() {
+        Some(pool) => {
+            let (shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+            sys.note_exchange_traffic(&sent_w, &recv_w);
+            shards
+        }
+        None => deliver(p, outboxes),
+    };
     sys.check_all_storage(&new_shards, op)?;
     Ok(Dist::from_shards(new_shards))
 }
@@ -219,26 +244,62 @@ pub fn reduce_tree<T: Record>(
     }
     let f = sys.cfg().fanout(T::WORDS);
     let mut level: Vec<T> = per_machine;
+    // Which physical machine holds each summary of the current level
+    // (group leaders keep their machine as levels shrink).
+    let mut machine_of: Vec<usize> = (0..level.len()).collect();
     while level.len() > 1 {
-        // Each group of f consecutive nodes sends to its leader.
+        // Each group of f consecutive nodes sends to its leader. The
+        // charge tally is shared by both executors.
         let groups = level.len().div_ceil(f);
-        let mut next = Vec::with_capacity(groups);
         let mut max_recv = 0usize;
         let mut total = 0u64;
         for g in 0..groups {
             let lo = g * f;
             let hi = (lo + f).min(level.len());
-            let mut acc = level[lo].clone();
-            for item in &level[lo + 1..hi] {
-                acc = combine(&acc, item);
-            }
             let incoming = (hi - lo - 1) * T::WORDS;
             max_recv = max_recv.max(incoming);
             total += incoming as u64;
-            next.push(acc);
         }
         sys.charge_round(op, T::WORDS, max_recv, total)?;
-        level = next;
+
+        // Group members, delivered to each leader: physically through
+        // the router (threaded) or by slicing the level (loop). The
+        // exchange delivers in source-machine order, which is exactly
+        // the level order within each group.
+        let grouped: Vec<Vec<T>> = match sys.pool_handle() {
+            Some(pool) => {
+                let mut outboxes: Vec<Vec<(usize, T)>> =
+                    (0..pool.machines()).map(|_| Vec::new()).collect();
+                for (i, item) in level.iter().enumerate() {
+                    let leader = machine_of[(i / f) * f];
+                    outboxes[machine_of[i]].push((leader, item.clone()));
+                }
+                let (mut shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+                sys.note_exchange_traffic(&sent_w, &recv_w);
+                (0..groups)
+                    .map(|g| std::mem::take(&mut shards[machine_of[g * f]]))
+                    .collect()
+            }
+            None => (0..groups)
+                .map(|g| {
+                    let lo = g * f;
+                    let hi = (lo + f).min(level.len());
+                    level[lo..hi].to_vec()
+                })
+                .collect(),
+        };
+        level = grouped
+            .into_iter()
+            .map(|group| {
+                let mut items = group.into_iter();
+                let mut acc = items.next().expect("groups are non-empty");
+                for item in items {
+                    acc = combine(&acc, &item);
+                }
+                acc
+            })
+            .collect();
+        machine_of = (0..groups).map(|g| machine_of[g * f]).collect();
     }
     Ok(level
         .into_iter()
@@ -299,6 +360,26 @@ pub fn broadcast_all<T: Record>(
             per_round_total + leftover,
         )?;
     }
+    // Threaded executor: physically replicate along the f-ary tree. The
+    // waves follow the unpipelined tree (depth waves, machine j fetches
+    // from j % cover), moving the same (p-1)·payload total the charge
+    // loop above priced into the pipelined round schedule.
+    if let Some(pool) = sys.pool_handle() {
+        let mut cover = 1usize;
+        while cover < p {
+            let next_cover = cover.saturating_mul(f).min(p);
+            let mut outboxes: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
+            for j in cover..next_cover {
+                let src = j % cover;
+                for rec in &payload {
+                    outboxes[src].push((j, rec.clone()));
+                }
+            }
+            let (_shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+            sys.note_exchange_traffic(&sent_w, &recv_w);
+            cover = next_cover;
+        }
+    }
     Ok(vec![payload; p])
 }
 
@@ -330,28 +411,69 @@ pub fn machine_scan<T: Record>(
     }
     let f = sys.cfg().fanout(T::WORDS);
 
-    // Up-sweep: build the levels of group totals.
+    // Up-sweep: build the levels of group totals. `maps[l][i]` is the
+    // physical machine holding summary `i` of level `l` (group leaders).
     let mut levels: Vec<Vec<T>> = vec![per_machine];
-    while levels.last().expect("non-empty").len() > 1 {
-        let cur = levels.last().expect("non-empty");
-        let groups = cur.len().div_ceil(f);
-        let mut next = Vec::with_capacity(groups);
+    let mut maps: Vec<Vec<usize>> = vec![(0..p).collect()];
+    loop {
+        let cur_len = levels.last().expect("non-empty").len();
+        if cur_len <= 1 {
+            break;
+        }
+        let groups = cur_len.div_ceil(f);
+        // Shared charge tally: each leader receives its group members.
         let mut max_recv = 0usize;
         let mut total = 0u64;
         for g in 0..groups {
             let lo = g * f;
-            let hi = (lo + f).min(cur.len());
-            let mut acc = cur[lo].clone();
-            for item in &cur[lo + 1..hi] {
-                acc = combine(&acc, item);
-            }
+            let hi = (lo + f).min(cur_len);
             let incoming = (hi - lo - 1) * T::WORDS;
             max_recv = max_recv.max(incoming);
             total += incoming as u64;
-            next.push(acc);
         }
         sys.charge_round(op, T::WORDS, max_recv, total)?;
+
+        let cur_map = maps.last().expect("non-empty").clone();
+        let grouped: Vec<Vec<T>> = match sys.pool_handle() {
+            Some(pool) => {
+                let cur = levels.last().expect("non-empty");
+                let mut outboxes: Vec<Vec<(usize, T)>> =
+                    (0..pool.machines()).map(|_| Vec::new()).collect();
+                for (i, item) in cur.iter().enumerate() {
+                    let leader = cur_map[(i / f) * f];
+                    outboxes[cur_map[i]].push((leader, item.clone()));
+                }
+                let (mut shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+                sys.note_exchange_traffic(&sent_w, &recv_w);
+                (0..groups)
+                    .map(|g| std::mem::take(&mut shards[cur_map[g * f]]))
+                    .collect()
+            }
+            None => {
+                let cur = levels.last().expect("non-empty");
+                (0..groups)
+                    .map(|g| {
+                        let lo = g * f;
+                        let hi = (lo + f).min(cur.len());
+                        cur[lo..hi].to_vec()
+                    })
+                    .collect()
+            }
+        };
+        let next: Vec<T> = grouped
+            .into_iter()
+            .map(|group| {
+                let mut items = group.into_iter();
+                let mut acc = items.next().expect("groups are non-empty");
+                for item in items {
+                    acc = combine(&acc, &item);
+                }
+                acc
+            })
+            .collect();
+        let next_map: Vec<usize> = (0..groups).map(|g| cur_map[g * f]).collect();
         levels.push(next);
+        maps.push(next_map);
     }
 
     // Down-sweep: push exclusive prefixes back down.
@@ -375,6 +497,30 @@ pub fn machine_scan<T: Record>(
             }
         }
         sys.charge_round(op, max_sent, T::WORDS, total)?;
+        // Threaded executor: each parent physically sends every child
+        // its prefix (the leader child is the parent's own machine, so
+        // that hop is free on the wire; the charge above keeps the
+        // model's "leader informs its group" formula).
+        if let Some(pool) = sys.pool_handle() {
+            let mut outboxes: Vec<Vec<(usize, T)>> =
+                (0..pool.machines()).map(|_| Vec::new()).collect();
+            for (i, prefix) in next_prefixes.iter().enumerate() {
+                let parent = maps[lvl + 1][i / f];
+                let child = maps[lvl][i];
+                outboxes[parent].push((child, prefix.clone()));
+            }
+            let (mut shards, sent_w, recv_w) = exchange(&pool, T::WORDS, outboxes);
+            sys.note_exchange_traffic(&sent_w, &recv_w);
+            next_prefixes = maps[lvl]
+                .iter()
+                .map(|&m| {
+                    std::mem::take(&mut shards[m])
+                        .into_iter()
+                        .next()
+                        .expect("each machine holds exactly one prefix")
+                })
+                .collect();
+        }
         prefixes = next_prefixes;
     }
     debug_assert_eq!(prefixes.len(), p);

@@ -36,6 +36,17 @@
 //! Machine-local work within one superstep runs in parallel with rayon
 //! (machines are independent by definition), but all observable results
 //! are deterministic: shards are combined in machine order.
+//!
+//! # Executors
+//!
+//! Two physical engines run the simulation (see [`ExecutorKind`]):
+//! the default **loop** executor iterates machine shards in-process,
+//! while the **threaded** executor ([`MpcSystem::with_executor`]) runs
+//! one OS thread per machine and moves every round's messages through
+//! the `spanner-net` router, pricing each round under a pluggable
+//! [`NetworkModel`] into a [`NetReport`] (predicted cluster wall-clock).
+//! Both engines share all charging code, so shards, rounds, and traffic
+//! are bit-identical at fixed seeds.
 
 pub mod comm;
 pub mod config;
@@ -51,7 +62,9 @@ pub use dist::Dist;
 pub use error::MpcError;
 pub use metrics::Metrics;
 pub use record::Record;
-pub use system::MpcSystem;
+pub use spanner_net as net;
+pub use spanner_net::{NetReport, NetworkModel, WORD_BYTES};
+pub use system::{ExecutorKind, MpcSystem};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, MpcError>;

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 /// `rounds` is the headline number every experiment reports; the rest
 /// exists to sanity-check the model constraints and to break rounds down
 /// by primitive (the per-`op` map feeds experiment E9).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Synchronous communication rounds executed so far.
     pub rounds: u64,
@@ -17,6 +17,16 @@ pub struct Metrics {
     pub max_send_words: usize,
     /// Largest number of words any machine received in a single round.
     pub max_recv_words: usize,
+    /// Sum over rounds of the busiest sender's words — the send side of
+    /// the critical path a latency/bandwidth network model charges.
+    pub critical_send_words: u64,
+    /// Sum over rounds of the busiest receiver's words.
+    pub critical_recv_words: u64,
+    /// Sum over rounds of `max(busiest send, busiest receive)` — the
+    /// exact critical-link total, so a `FullMesh` prediction from these
+    /// aggregates equals the per-round sum (maxima don't distribute
+    /// over sums, so totals alone would under-charge skewed rounds).
+    pub critical_link_words: u64,
     /// Largest number of words any machine ever held.
     pub peak_machine_words: usize,
     /// Rounds attributed to each primitive label.
@@ -30,10 +40,14 @@ impl Metrics {
         *self.rounds_by_op.entry(op).or_insert(0) += 1;
     }
 
-    /// Folds per-round traffic extremes into the running maxima.
+    /// Folds per-round traffic extremes into the running maxima and the
+    /// critical-path accumulators.
     pub fn observe_traffic(&mut self, sent: usize, received: usize, total: u64) {
         self.max_send_words = self.max_send_words.max(sent);
         self.max_recv_words = self.max_recv_words.max(received);
+        self.critical_send_words += sent as u64;
+        self.critical_recv_words += received as u64;
+        self.critical_link_words += sent.max(received) as u64;
         self.total_comm_words += total;
     }
 
@@ -45,12 +59,13 @@ impl Metrics {
     /// Pretty one-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "rounds={} peak_mem={}w max_send={}w max_recv={}w total_comm={}w",
+            "rounds={} peak_mem={}w max_send={}w max_recv={}w total_comm={}w crit_link={}w",
             self.rounds,
             self.peak_machine_words,
             self.max_send_words,
             self.max_recv_words,
-            self.total_comm_words
+            self.total_comm_words,
+            self.critical_link_words
         )
     }
 }
@@ -82,5 +97,12 @@ mod tests {
         assert_eq!(m.total_comm_words, 75);
         assert_eq!(m.peak_machine_words, 100);
         assert!(m.summary().contains("rounds=0"));
+        // Critical-path accumulators sum per-round skew, not just maxima:
+        // rounds were (10,20) and (5,40), so the critical link carried
+        // 20 + 40 words even though no single direction's max exceeds 40.
+        assert_eq!(m.critical_send_words, 15);
+        assert_eq!(m.critical_recv_words, 60);
+        assert_eq!(m.critical_link_words, 60);
+        assert!(m.summary().contains("crit_link=60w"));
     }
 }

@@ -1,0 +1,158 @@
+//! One synchronous all-to-all exchange over the machine pool.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use spanner_sync::TrackedMutex;
+
+use crate::pool::{MachinePool, RoundBarrier};
+use crate::router::Router;
+
+/// A machine's pending outbox, taken exactly once by its worker.
+type OutboxSlot<T> = TrackedMutex<Option<Vec<(usize, T)>>>;
+/// A machine's result: (inbound shard, sent wire words, received wire words).
+type OutcomeSlot<T> = TrackedMutex<Option<(Vec<T>, u64, u64)>>;
+
+/// Runs one physical all-to-all round on the pool: machine `m` takes
+/// `outboxes[m]` (a list of `(dst, record)` pairs), posts it through a
+/// fresh [`Router`], rendezvouses at a [`RoundBarrier`], then collects
+/// its inbound shard in source order.
+///
+/// Returns `(shards, sent_words, recv_words)` where `shards[m]` holds
+/// machine `m`'s inbound records ordered by `(src, position)` — exactly
+/// the loop executor's delivery order — and the word vectors count wire
+/// traffic per machine (self-delivery is free, as in the MPC model).
+pub fn exchange<T: Send + Sync>(
+    pool: &MachinePool,
+    words_per_record: usize,
+    outboxes: Vec<Vec<(usize, T)>>,
+) -> (Vec<Vec<T>>, Vec<u64>, Vec<u64>) {
+    let p = pool.machines();
+    assert_eq!(outboxes.len(), p, "one outbox per machine");
+    if p == 0 {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    let w = words_per_record as u64;
+
+    let router: Router<T> = Router::new(p);
+    let barrier = RoundBarrier::new(p);
+    let inbox: Vec<OutboxSlot<T>> = outboxes
+        .into_iter()
+        .map(|o| TrackedMutex::new("net.exchange.inbox", Some(o)))
+        .collect();
+    let outcome: Vec<OutcomeSlot<T>> = (0..p)
+        .map(|_| TrackedMutex::new("net.exchange.outcome", None))
+        .collect();
+
+    pool.run_round(&|m| {
+        // If this machine's half-round panics, poison the barrier so
+        // its peers fail fast instead of waiting on it forever.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mine = inbox[m].lock().take().expect("outbox taken once");
+            let mut per_dst: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            let mut sent = 0u64;
+            for (dst, rec) in mine {
+                if dst != m {
+                    sent += w;
+                }
+                per_dst[dst].push(rec);
+            }
+            router.post(m, per_dst);
+            barrier.arrive_and_wait();
+            let parts = router.collect(m);
+            let mut recv = 0u64;
+            let mut shard = Vec::new();
+            for (src, part) in parts.into_iter().enumerate() {
+                if src != m {
+                    recv += part.len() as u64 * w;
+                }
+                shard.extend(part);
+            }
+            *outcome[m].lock() = Some((shard, sent, recv));
+        }));
+        if let Err(payload) = result {
+            barrier.poison();
+            panic::resume_unwind(payload);
+        }
+    });
+
+    let mut shards = Vec::with_capacity(p);
+    let mut sent_words = Vec::with_capacity(p);
+    let mut recv_words = Vec::with_capacity(p);
+    for slot in &outcome {
+        let (shard, sent, recv) = slot
+            .lock()
+            .take()
+            .expect("every machine stored its outcome");
+        shards.push(shard);
+        sent_words.push(sent);
+        recv_words.push(recv);
+    }
+    (shards, sent_words, recv_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_matches_src_pos_order() {
+        let pool = MachinePool::spawn(3);
+        // Machine 0 scatters, machine 2 sends to 0 and itself.
+        let outboxes = vec![
+            vec![(0usize, 'a'), (1, 'b'), (2, 'c'), (1, 'd')],
+            vec![(2, 'e')],
+            vec![(0, 'f'), (2, 'g')],
+        ];
+        let (shards, sent, recv) = exchange(&pool, 2, outboxes);
+        assert_eq!(shards[0], vec!['a', 'f']);
+        assert_eq!(shards[1], vec!['b', 'd']);
+        assert_eq!(shards[2], vec!['c', 'e', 'g']);
+        // Self-delivery ('a' and 'g') is free on the wire.
+        assert_eq!(sent, vec![6, 2, 2]);
+        assert_eq!(recv, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn empty_traffic_is_fine() {
+        let pool = MachinePool::spawn(2);
+        let (shards, sent, recv) = exchange::<u32>(&pool, 1, vec![vec![], vec![]]);
+        assert_eq!(shards, vec![Vec::<u32>::new(), Vec::new()]);
+        assert_eq!(sent, vec![0, 0]);
+        assert_eq!(recv, vec![0, 0]);
+    }
+
+    #[test]
+    fn repeated_exchanges_reuse_the_pool() {
+        let pool = MachinePool::spawn(4);
+        for round in 0..5u32 {
+            // Everyone sends `round` to machine (m+1) % 4.
+            let outboxes = (0..4).map(|m| vec![((m + 1) % 4, (round, m))]).collect();
+            let (shards, sent, recv) = exchange(&pool, 3, outboxes);
+            for m in 0..4usize {
+                assert_eq!(shards[m], vec![(round, (m + 3) % 4)]);
+                assert_eq!(sent[m], 3);
+                assert_eq!(recv[m], 3);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_machine_poisons_instead_of_hanging() {
+        let pool = MachinePool::spawn(3);
+        let err = std::thread::spawn(move || {
+            let outboxes = vec![vec![(0usize, 1u8)], vec![], vec![]];
+            // Run an exchange whose machine 1 dies before the barrier by
+            // feeding an impossible destination assertion via post().
+            pool.run_round(&|m| {
+                if m == 1 {
+                    panic!("machine 1 died before the rendezvous");
+                }
+            });
+            drop(outboxes);
+        })
+        .join()
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("machine 1 died"), "got: {msg}");
+    }
+}

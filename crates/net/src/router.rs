@@ -1,0 +1,81 @@
+//! Per-source message slots the machines exchange batches through.
+
+use spanner_sync::TrackedMutex;
+
+/// A one-round message switchboard: machine `src` posts its per-
+/// destination batches into its own slot, and after the round barrier
+/// each destination collects its column — in source order, so delivery
+/// order is deterministic regardless of thread scheduling.
+#[derive(Debug)]
+pub struct Router<T> {
+    /// `slots[src][dst]` holds what `src` addressed to `dst`.
+    slots: Vec<TrackedMutex<Vec<Vec<T>>>>,
+}
+
+impl<T> Router<T> {
+    /// An empty router for `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        Router {
+            slots: (0..machines)
+                .map(|_| {
+                    TrackedMutex::new(
+                        "net.router.slot",
+                        (0..machines).map(|_| Vec::new()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of machines the router connects.
+    pub fn machines(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Machine `src` publishes its outgoing batches, one `Vec` per
+    /// destination (length must equal the machine count).
+    pub fn post(&self, src: usize, per_dst: Vec<Vec<T>>) {
+        assert_eq!(
+            per_dst.len(),
+            self.slots.len(),
+            "post() needs one batch per destination"
+        );
+        *self.slots[src].lock() = per_dst;
+    }
+
+    /// Machine `dst` drains everything addressed to it, ordered by
+    /// source index. Must only be called after all sources posted (the
+    /// exchange's barrier guarantees this).
+    pub fn collect(&self, dst: usize) -> Vec<Vec<T>> {
+        self.slots
+            .iter()
+            .map(|slot| std::mem::take(&mut slot.lock()[dst]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_ordered_by_source() {
+        let router = Router::new(3);
+        // Post out of source order on purpose.
+        router.post(2, vec![vec![20], vec![], vec![22]]);
+        router.post(0, vec![vec![0], vec![1], vec![2]]);
+        router.post(1, vec![vec![10], vec![11], vec![]]);
+        assert_eq!(router.collect(0), vec![vec![0], vec![10], vec![20]]);
+        assert_eq!(router.collect(1), vec![vec![1], vec![11], vec![]]);
+        assert_eq!(router.collect(2), vec![vec![2], vec![], vec![22]]);
+    }
+
+    #[test]
+    fn collect_drains_the_column() {
+        let router = Router::new(2);
+        router.post(0, vec![vec![7], vec![8]]);
+        router.post(1, vec![vec![], vec![]]);
+        assert_eq!(router.collect(1), vec![vec![8], vec![]]);
+        assert_eq!(router.collect(1), vec![Vec::<i32>::new(), vec![]]);
+    }
+}

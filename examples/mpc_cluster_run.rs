@@ -1,13 +1,15 @@
 //! Scenario: running the spanner construction on the *simulated MPC
 //! cluster* — what a MapReduce/Spark job of the paper's algorithm would
 //! cost, in the model's own currency (rounds, per-machine memory,
-//! traffic).
+//! traffic) and in predicted wall-clock on a concrete network.
 //!
 //! Shows the Theorem 1.1 accounting live through the pipeline: **one**
 //! `SpannerRequest`, re-targeted at deployments with shrinking machine
-//! memory by swapping only the `Backend`, with the runtime *enforcing*
-//! the memory and bandwidth constraints and counting the rounds it
-//! actually used.
+//! memory by swapping only the `Backend`. Each deployment runs twice —
+//! on the loop executor and on the thread-per-machine executor under a
+//! `FullMesh` network model — and the example asserts the two engines
+//! produce the identical spanner and round count before printing the
+//! threaded run's `NetReport` (predicted cluster seconds).
 //!
 //! ```sh
 //! cargo run --release --example mpc_cluster_run
@@ -16,7 +18,7 @@
 use mpc_spanners::core::TradeoffParams;
 use mpc_spanners::graph::generators::{connected_erdos_renyi, WeightModel};
 use mpc_spanners::mpc::MpcConfig;
-use mpc_spanners::pipeline::{Algorithm, Backend, SpannerRequest};
+use mpc_spanners::pipeline::{Algorithm, Backend, NetworkModel, SpannerRequest};
 
 fn main() {
     let g = connected_erdos_renyi(4000, 0.003, WeightModel::Uniform(1, 100), 3);
@@ -35,32 +37,78 @@ fn main() {
     let reference = request.run().expect("sequential run").result;
     println!("reference spanner: {} edges\n", reference.size());
 
+    // A 100 us / 10 GB/s full mesh — a decent-switch cluster shape.
+    let model = NetworkModel::FullMesh {
+        latency_s: 100e-6,
+        bytes_per_sec: 10e9,
+    };
     let input_words = 4 * g.m() + 2 * g.n() + 64;
     println!(
-        "{:>8} {:>6} {:>8} {:>12} {:>14} {:>9}",
-        "S(words)", "P", "rounds", "rounds/iter", "peak mem", "match"
+        "{:>8} {:>6} {:>8} {:>12} {:>14} {:>12} {:>7}",
+        "S(words)", "P", "rounds", "rounds/iter", "peak mem", "predicted", "match"
     );
     for s in [2048usize, 4096, 8192, 16384] {
         let cfg = MpcConfig::explicit(s, input_words.div_ceil(s).max(2), 8);
-        // The same request, unmodified, on a different backend.
+        // The same request, unmodified, on the loop executor...
         let run = request
             .clone()
-            .on(Backend::Mpc(cfg.into()))
+            .on(Backend::mpc_deployment(cfg))
             .run()
             .expect("constraints hold on this deployment");
         let stats = run.stats.mpc().expect("mpc backend reports mpc stats");
+        // ...and again on one OS thread per machine, messages moving
+        // through the router, rounds priced by the network model.
+        let threaded = request
+            .clone()
+            .on(Backend::mpc_deployment(cfg).threaded(model))
+            .run()
+            .expect("same constraints, threaded executor");
+        let tstats = threaded.stats.mpc().expect("mpc backend reports mpc stats");
+        assert_eq!(
+            threaded.result.edges, run.result.edges,
+            "executors must build the identical spanner"
+        );
+        assert_eq!(
+            tstats.metrics.rounds, stats.metrics.rounds,
+            "executors must charge identical rounds"
+        );
         let (metrics, config) = (&stats.metrics, &stats.config);
         println!(
-            "{:>8} {:>6} {:>8} {:>12.1} {:>9}/{:<6} {:>7}",
+            "{:>8} {:>6} {:>8} {:>12.1} {:>9}/{:<6} {:>10.4}s {:>7}",
             s,
             config.num_machines,
             metrics.rounds,
             metrics.rounds as f64 / run.result.iterations.max(1) as f64,
             metrics.peak_machine_words,
             config.capacity(),
+            tstats.predicted_time.expect("threaded runs predict"),
             run.result.edges == reference.edges,
         );
     }
+    let final_report = request
+        .clone()
+        .on(Backend::mpc_deployment(MpcConfig::explicit(
+            4096,
+            input_words.div_ceil(4096).max(2),
+            8,
+        ))
+        .threaded(model))
+        .run()
+        .expect("threaded run for the report");
+    let net = final_report
+        .stats
+        .mpc()
+        .and_then(|s| s.net.clone())
+        .expect("threaded runs carry a NetReport");
+    println!(
+        "\nS=4096 NetReport under {}: {}",
+        model.label(),
+        net.summary()
+    );
+    if let Some((round, cost)) = net.critical_round() {
+        println!("most expensive round: #{round} at {cost:.6}s");
+    }
     println!("\nSmaller machines => more machines, deeper aggregation trees, more rounds");
-    println!("(the O(1/gamma) factor of Theorem 1.1) — same spanner, bit for bit.");
+    println!("(the O(1/gamma) factor of Theorem 1.1) — same spanner, bit for bit,");
+    println!("on both executors; predictions are the model's simulated seconds.");
 }

@@ -33,7 +33,10 @@ use mpc_spanners::pipeline::{
 };
 
 fn serving_backends() -> [Backend; 2] {
-    [Backend::Sequential, Backend::Mpc(MpcDeployment::NearLinear)]
+    [
+        Backend::Sequential,
+        Backend::mpc_deployment(MpcDeployment::NearLinear),
+    ]
 }
 
 fn engines() -> [QueryEngine; 2] {
@@ -174,7 +177,7 @@ fn legacy_oracle_shims_are_pinned_to_the_distance_stage() {
     // In-model shim: same edges, and rounds = construction + gather only.
     let run = mpc_build_oracle(&g, seed).expect("in-model build");
     let mpc_stage = mpc_spanners::apsp::apsp_request(&g)
-        .on(Backend::Mpc(MpcDeployment::NearLinear))
+        .on(Backend::mpc_deployment(MpcDeployment::NearLinear))
         .seed(seed)
         .build()
         .expect("mpc build");

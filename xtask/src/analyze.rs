@@ -4,16 +4,20 @@
 //! scoped to where the rule actually applies:
 //!
 //! * **raw-sync** — constructing `std::sync::{Mutex, Condvar, RwLock}` inside
-//!   `crates/core/src/pipeline/`. Pipeline code must use the tracked
-//!   primitives from `spanner-sync` (re-exported at `spanner_core::sync`) so
-//!   the `lock-audit` build audits every lock.
+//!   `crates/core/src/pipeline/` or `crates/net/src/`. Pipeline and network-
+//!   executor code must use the tracked primitives from `spanner-sync`
+//!   (re-exported at `spanner_core::sync`) so the `lock-audit` build audits
+//!   every lock.
 //! * **stray-spawn** — `std::thread::spawn` / `thread::Builder` outside the
 //!   sanctioned thread nurseries (`vendor/rayon`, `vendor/interleave`,
 //!   `xtask`) and outside test code. Ad-hoc threads bypass the pool's
-//!   `RAYON_NUM_THREADS` discipline.
+//!   `RAYON_NUM_THREADS` discipline. The threaded MPC executor's single
+//!   audited spawn point (`crates/net/src/pool.rs`) carries an explicit
+//!   waiver; everything else in `crates/net` must go through it.
 //! * **wall-clock** — `Instant::now` / `SystemTime` inside round/word-
-//!   accounting model code (`crates/mpc-runtime`, `pipeline/clique.rs`,
-//!   `pipeline/pram_cost.rs`). Model costs must be derived from the
+//!   accounting model code (`crates/mpc-runtime`, `crates/net`,
+//!   `pipeline/clique.rs`, `pipeline/pram_cost.rs`). Model costs — including
+//!   the network models' predicted seconds — must be derived from the
 //!   communication structure, never from the host's clock.
 //! * **unsafe-comment** — an `unsafe` block/fn/impl with no `// SAFETY:`
 //!   comment within the preceding ten lines.
@@ -47,7 +51,7 @@ impl Lint {
     pub fn message(self) -> &'static str {
         match self {
             Lint::RawSync => {
-                "raw std::sync primitive constructed in pipeline code — use the tracked \
+                "raw std::sync primitive constructed in pipeline/net code — use the tracked \
                  primitives from spanner_core::sync so lock-audit builds see it"
             }
             Lint::StraySpawn => {
@@ -184,12 +188,14 @@ pub fn lint_file(rel: &Path, content: &str) -> Vec<Violation> {
     let lines: Vec<&str> = content.lines().collect();
     let mut out = Vec::new();
 
-    let in_pipeline = path_has_prefix(rel, "crates/core/src/pipeline");
+    let tracked_sync_scope =
+        path_has_prefix(rel, "crates/core/src/pipeline") || path_has_prefix(rel, "crates/net/src");
     let spawn_exempt = path_has_prefix(rel, "vendor/rayon")
         || path_has_prefix(rel, "vendor/interleave")
         || path_has_prefix(rel, "xtask")
         || is_test_like_path(rel);
     let model_code = path_has_prefix(rel, "crates/mpc-runtime")
+        || path_has_prefix(rel, "crates/net")
         || rel == Path::new("crates/core/src/pipeline/clique.rs")
         || rel == Path::new("crates/core/src/pipeline/pram_cost.rs");
 
@@ -209,7 +215,7 @@ pub fn lint_file(rel: &Path, content: &str) -> Vec<Violation> {
             None => line,
         };
 
-        if in_pipeline {
+        if tracked_sync_scope {
             for needle in ["Mutex::new", "Condvar::new", "RwLock::new"] {
                 if standalone_match(code, needle).is_some()
                     && !is_waived(&lines, idx, Lint::RawSync)
@@ -298,6 +304,20 @@ mod tests {
             &fixture("raw_sync.rs"),
         );
         assert!(fired.contains(&Lint::RawSync), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn net_crate_is_in_scope_for_every_executor_lint() {
+        // The threaded executor crate is held to the same discipline as
+        // pipeline code: tracked locks only…
+        let fired = lints_fired("crates/net/src/seeded.rs", &fixture("raw_sync.rs"));
+        assert!(fired.contains(&Lint::RawSync), "fired: {fired:?}");
+        // …no thread creation outside the one audited spawn point…
+        let fired = lints_fired("crates/net/src/seeded.rs", &fixture("stray_spawn.rs"));
+        assert!(fired.contains(&Lint::StraySpawn), "fired: {fired:?}");
+        // …and no wall-clock reads feeding the simulated network clock.
+        let fired = lints_fired("crates/net/src/seeded.rs", &fixture("wall_clock.rs"));
+        assert!(fired.contains(&Lint::WallClock), "fired: {fired:?}");
     }
 
     #[test]
