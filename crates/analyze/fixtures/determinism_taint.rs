@@ -1,0 +1,37 @@
+// Seeded violations for the determinism-taint pass: result-producing
+// code iterating hash-ordered containers and reading run-varying host
+// state. Never compiled — read by the fixture tests with a virtual
+// pipeline path so every fn here is a taint root.
+use std::collections::{HashMap, HashSet};
+
+pub fn reap_in_map_order(jobs: &HashMap<u64, u32>) -> Vec<u64> {
+    // Visit order is RandomState-seeded: differs per process.
+    jobs.keys().copied().collect()
+}
+
+pub fn scatter(members: HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for m in &members {
+        out.push(*m);
+    }
+    out
+}
+
+pub fn helper_reached_through_the_call_graph() -> Vec<u64> {
+    deep_helper()
+}
+
+fn deep_helper() -> Vec<u64> {
+    let mut index: HashMap<u64, u64> = HashMap::new();
+    index.insert(1, 2);
+    index.values().copied().collect()
+}
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    let id = std::thread::current().id();
+    let _ = id;
+    let key = format!("{:p}", &t);
+    key.len() as u128
+}

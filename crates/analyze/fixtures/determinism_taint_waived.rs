@@ -1,0 +1,22 @@
+// The determinism-taint violations from determinism_taint.rs, each with
+// a waiver explaining why order/identity cannot leak into results.
+// Never compiled — read by the fixture tests.
+use std::collections::HashMap;
+
+pub fn sum_is_order_insensitive(jobs: &HashMap<u64, u64>) -> u64 {
+    // analyze:allow(determinism-taint): commutative fold — order cannot leak
+    jobs.values().sum()
+}
+
+pub fn sorted_after_collect(jobs: &HashMap<u64, u64>) -> Vec<u64> {
+    // analyze:allow(determinism-taint): collected then sorted before use
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+pub fn observability_only() -> u64 {
+    // analyze:allow(determinism-taint): latency metric only, never in results
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

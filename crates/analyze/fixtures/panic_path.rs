@@ -1,0 +1,20 @@
+// Seeded violations for the panic-path audit: every way serving-stack
+// code can die that the pass must catch. Never compiled — read by the
+// fixture tests with a virtual pipeline/queue path.
+pub fn pop(v: Vec<u32>) -> u32 {
+    let first = v.first().unwrap();
+    let parsed: u32 = "7".parse().expect("digits");
+    first + parsed
+}
+
+pub fn route(ring: &[u32], key: usize) -> u32 {
+    ring[key % ring.len()]
+}
+
+pub fn admit(budget: u64, tenants: u64) -> u64 {
+    budget / tenants
+}
+
+pub fn reject() -> ! {
+    panic!("queue full");
+}

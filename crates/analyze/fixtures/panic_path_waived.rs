@@ -1,0 +1,23 @@
+// The panic-path violations from panic_path.rs, each waived with a
+// justification for why the site cannot fire (or why dying is the
+// correct behavior). Never compiled — read by the fixture tests.
+pub fn pop(v: Vec<u32>) -> u32 {
+    // analyze:allow(panic-path): caller checked non-empty under the same lock
+    let first = v.first().unwrap();
+    first + 1
+}
+
+pub fn route(ring: &[u32], key: usize) -> u32 {
+    // analyze:allow(panic-path): index is key % len, in bounds by construction
+    ring[key % ring.len()]
+}
+
+pub fn admit(budget: u64, tenants: u64) -> u64 {
+    // analyze:allow(panic-path): tenants asserted nonzero at admission
+    budget / tenants
+}
+
+pub fn reject() -> ! {
+    // analyze:allow(panic-path): poisoned barrier — dying fast is the contract
+    panic!("queue full");
+}

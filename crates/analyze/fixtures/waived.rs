@@ -1,6 +1,6 @@
 // Every violation from the other fixtures, each carrying a waiver — the
-// fixture tests assert this file lints clean under a path where all four
-// lints are in scope. Never compiled.
+// fixture tests assert this file lints clean under a path where all the
+// per-file lints are in scope. Never compiled.
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -8,7 +8,7 @@ fn seeded() {
     // analyze:allow(raw-sync): fixture demonstrating the waiver syntax
     let state = Mutex::new(0u32);
     let worker = std::thread::spawn(|| ()); // analyze:allow(stray-spawn): fixture
-    // analyze:allow(wall-clock): fixture
+    // analyze:allow(wall-clock): fixture — analyze:allow(determinism-taint): fixture
     let started = Instant::now();
     // analyze:allow(unsafe-comment): fixture
     let value = unsafe { core::mem::zeroed::<u32>() };

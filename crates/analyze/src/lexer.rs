@@ -1,0 +1,625 @@
+//! A hand-rolled Rust lexer — just enough of the language to make the
+//! repo lints *token-aware* instead of line-regex-aware.
+//!
+//! There is deliberately no `syn` here (the build environment has no
+//! registry access), and no attempt at full fidelity: the output is a
+//! flat token stream plus a per-line comment map. What the lexer *must*
+//! get right — because every false-positive class of the old line-regex
+//! lints came from getting it wrong — is:
+//!
+//! * string literals, including raw (`r"…"`, `r#"…"#`, any hash depth)
+//!   and byte (`b"…"`, `br#"…"#`) forms, so `"Mutex::new"` in a string
+//!   never looks like a lock construction;
+//! * line comments and **nested** block comments (`/* /* */ */`), kept
+//!   aside in the comment map so waivers (`analyze:allow(…)`) and
+//!   `SAFETY:` justifications stay findable by line;
+//! * `'a` (lifetime) vs `'a'` (char literal) vs `b'a'` (byte literal);
+//! * raw identifiers (`r#type`) vs raw strings (`r#"…"#`);
+//! * numeric literals, with enough shape (`float`, integer value) for
+//!   the panic-path pass to see that dividing by a nonzero literal
+//!   cannot trap.
+
+use std::collections::BTreeMap;
+
+/// One lexed token. Keywords are [`Tok::Ident`]s — the passes match on
+/// spelling, so a separate keyword kind would buy nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers arrive *without* the
+    /// `r#` prefix — `r#type` lexes as `Ident("type")`).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`), name without the quote.
+    Lifetime(String),
+    /// A char or byte literal (`'x'`, `b'\n'`); contents discarded.
+    Char,
+    /// Any string literal (plain, raw, byte), with its *contents* —
+    /// kept because the taint pass looks for `{:p}` format specs.
+    Str(String),
+    /// A numeric literal, raw text preserved.
+    Num { text: String, float: bool },
+    /// A single punctuation character. Multi-char operators (`::`,
+    /// `->`, `>>`) arrive as consecutive tokens; the passes match
+    /// sequences.
+    Punct(char),
+}
+
+impl Tok {
+    /// Is this an identifier spelled `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+
+    /// The integer value of a numeric literal, if it is one (handles
+    /// `0x`/`0o`/`0b` prefixes, `_` separators and type suffixes).
+    pub fn int_value(&self) -> Option<u128> {
+        let Tok::Num { text, float } = self else {
+            return None;
+        };
+        if *float {
+            return None;
+        }
+        let t: String = text.chars().filter(|&c| c != '_').collect();
+        let (radix, digits) = match t.as_bytes() {
+            [b'0', b'x' | b'X', ..] => (16, &t[2..]),
+            [b'0', b'o' | b'O', ..] => (8, &t[2..]),
+            [b'0', b'b' | b'B', ..] => (2, &t[2..]),
+            _ => (10, t.as_str()),
+        };
+        // Strip a type suffix (`u32`, `usize`, `i8`, …).
+        let end = digits
+            .find(|c: char| !c.is_digit(radix))
+            .unwrap_or(digits.len());
+        u128::from_str_radix(&digits[..end], radix).ok()
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// The lexer's output: the token stream and every comment, keyed by the
+/// 1-based line it appears on (multi-line block comments contribute to
+/// each line they span; several comments on one line concatenate).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    /// The comment text on `line`, or `""`.
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(&line).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Lex `src`. Never fails: anything unrecognised becomes punctuation,
+/// which no pass matches — over-approximation in the harmless direction.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => {
+                    self.push(Tok::Punct(c as char));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn record_comment(&mut self, line: u32, text: &str) {
+        let slot = self.out.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text.trim());
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let line = self.line;
+        self.record_comment(line, &text);
+    }
+
+    /// Nested block comments: `/* outer /* inner */ still outer */`.
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        let mut line_start = self.i;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else if self.b[self.i] == b'\n' {
+                let text = String::from_utf8_lossy(&self.b[line_start..self.i]).into_owned();
+                let line = self.line;
+                self.record_comment(line, &text);
+                self.line += 1;
+                self.i += 1;
+                line_start = self.i;
+            } else {
+                self.i += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[line_start..self.i]).into_owned();
+        let line = self.line;
+        self.record_comment(line, &text);
+    }
+
+    /// A plain `"…"` string starting at the current `"`.
+    fn string(&mut self) {
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // Count the newline of a `\`-line-continuation.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i.min(self.b.len())]).into_owned();
+        self.i += 1; // closing quote
+        self.out.tokens.push(Token {
+            tok: Tok::Str(text),
+            line: start_line,
+        });
+    }
+
+    /// A raw string `r"…"` / `r###"…"###` with `hashes` hash marks; the
+    /// caller has consumed the prefix up to and including the opening
+    /// quote.
+    fn raw_string(&mut self, hashes: usize) {
+        let start_line = self.line;
+        let start = self.i;
+        'scan: while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            } else if self.b[self.i] == b'"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some(b'#') {
+                        self.i += 1;
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i.min(self.b.len())]).into_owned();
+        self.i += 1 + hashes; // closing quote + hashes
+        self.out.tokens.push(Token {
+            tok: Tok::Str(text),
+            line: start_line,
+        });
+    }
+
+    /// `'` starts either a lifetime or a char literal. `'a'` is a char,
+    /// `'a` (no closing quote) is a lifetime; escapes (`'\n'`,
+    /// `'\u{…}'`) are always chars.
+    fn quote(&mut self) {
+        self.i += 1;
+        if self.peek(0) == Some(b'\\') {
+            // Escaped char literal: skip to the closing quote.
+            self.i += 2; // backslash + escaped char (enough for \u too: scan on)
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            self.push(Tok::Char);
+            return;
+        }
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'\'') && self.i > start {
+            // 'x' — a char literal.
+            self.i += 1;
+            self.push(Tok::Char);
+        } else if self.i > start {
+            let name = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.push(Tok::Lifetime(name));
+        } else {
+            // Not ident-like, so it cannot be a lifetime: either a
+            // punctuation/multi-byte char literal (`'{'`, `'→'` — the
+            // closing quote sits within the next 4 bytes) or a bare
+            // quote from a macro. Getting `'{'` right matters: a
+            // phantom `{` would corrupt every brace-matched body range
+            // downstream.
+            for k in 1..=4usize {
+                if self.peek(k) == Some(b'\'') {
+                    self.i += k + 1;
+                    self.push(Tok::Char);
+                    return;
+                }
+            }
+            self.push(Tok::Punct('\''));
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut float = false;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.i += 1;
+            } else if c == b'.' {
+                // `1.5` is a float; `1..n` is a range; `1.pow(…)` is a call.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() && !float => {
+                        float = true;
+                        self.i += 1;
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let text = self.text_from(start);
+        // Suffix-only floats (`1f64`) and exponents (`1e9`). The
+        // exponent check wants digit-`e`-digit so `4usize` stays an int.
+        let b = text.as_bytes();
+        let exponent = !text.starts_with("0x")
+            && !text.starts_with("0X")
+            && b.iter().enumerate().any(|(k, &c)| {
+                (c == b'e' || c == b'E')
+                    && k > 0
+                    && b[k - 1].is_ascii_digit()
+                    && b.get(k + 1).is_some_and(|n| n.is_ascii_digit())
+            });
+        let float = float || text.ends_with("f32") || text.ends_with("f64") || exponent;
+        self.push(Tok::Num { text, float });
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.b[start..self.i]).into_owned()
+    }
+
+    /// An identifier — or one of the prefixed literal forms that *start*
+    /// like an identifier: `r"…"`, `r#"…"#`, `r#ident`, `b"…"`,
+    /// `br#"…"#`, `b'x'`.
+    fn ident_or_prefixed(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let word = self.text_from(start);
+        match (word.as_str(), self.peek(0)) {
+            ("r" | "br" | "b", Some(b'"')) => {
+                if word == "b" {
+                    // b"…" is an ordinary (byte) string.
+                    self.string();
+                } else {
+                    self.i += 1; // opening quote
+                    self.raw_string(0);
+                }
+            }
+            ("r" | "br", Some(b'#')) => {
+                // Count hashes, then decide: quote ⇒ raw string,
+                // ident char ⇒ raw identifier (`r#type`).
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                match self.peek(hashes) {
+                    Some(b'"') => {
+                        self.i += hashes + 1; // hashes + opening quote
+                        self.raw_string(hashes);
+                    }
+                    Some(c) if hashes == 1 && is_ident_start(c) => {
+                        self.i += 1; // the single '#'
+                        let istart = self.i;
+                        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                            self.i += 1;
+                        }
+                        let name = self.text_from(istart);
+                        self.push(Tok::Ident(name));
+                    }
+                    _ => self.push(Tok::Ident(word)),
+                }
+            }
+            ("b", Some(b'\'')) => {
+                self.quote(); // consumes the quote; b'x' is a char literal
+            }
+            _ => self.push(Tok::Ident(word)),
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punctuation_and_multibyte_char_literals_do_not_leak_delimiters() {
+        // `'{'` must lex as one Char: a phantom `{` would corrupt every
+        // brace-matched body range downstream.
+        let lexed = lex("let a = '{'; let b = '}'; let c = '('; let d = '→'; let e = ' ';");
+        let stray = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Punct('{' | '}' | '(' | ')')))
+            .count();
+        assert_eq!(stray, 0, "{:?}", lexed.tokens);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Char))
+            .count();
+        assert_eq!(chars, 5);
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_matching() {
+        let src = r#"let x = "Mutex::new inside a string"; Mutex::new(0);"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "Mutex", "new"]);
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let src =
+            r####"let a = r"plain raw"; let b = r#"one " hash"#; let c = r##"two "# hashes"##;"####;
+        let lexed = lex(src);
+        let strings: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec!["plain raw", "one \" hash", "two \"# hashes"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r##"let a = b"bytes"; let c = b'x'; let r = br#"raw bytes"#;"##;
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "bytes")));
+        assert!(lexed.tokens.iter().any(|t| matches!(t.tok, Tok::Char)));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "raw bytes")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still a comment */ Mutex::new(0)";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["Mutex", "new"]);
+        let lexed = lex(src);
+        assert!(lexed.comment_on(1).contains("still a comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_registers_every_line() {
+        let src = "/* one\ntwo SAFETY: justified\nthree */\nunsafe {}";
+        let lexed = lex(src);
+        assert!(lexed.comment_on(1).contains("one"));
+        assert!(lexed.comment_on(2).contains("SAFETY: justified"));
+        assert!(lexed.comment_on(3).contains("three"));
+        let unsafe_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok.is_ident("unsafe"))
+            .unwrap();
+        assert_eq!(unsafe_tok.line, 4);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a u32) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Char))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals_are_chars_not_lifetimes() {
+        for src in ["'\\n'", "'\\''", "'\\u{1F600}'", "'\\\\'"] {
+            let lexed = lex(src);
+            assert!(
+                lexed.tokens.iter().any(|t| matches!(t.tok, Tok::Char)),
+                "{src} should lex as a char literal, got {:?}",
+                lexed.tokens
+            );
+        }
+    }
+
+    #[test]
+    fn static_lifetime_and_single_letter_lifetime() {
+        let src = "&'static str; &'a T";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "a"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_identifiers() {
+        let ids = idents("let r#type = r#match + other;");
+        assert_eq!(ids, vec!["let", "type", "match", "other"]);
+    }
+
+    #[test]
+    fn numbers_know_float_from_int_and_their_value() {
+        let lexed = lex("1 + 2.5 + 0x1F + 1_000 + 3f64 + 1e9 + 0");
+        let nums: Vec<(Option<u128>, bool)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num { float, .. } => Some((t.tok.int_value(), *float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                (Some(1), false),
+                (None, true),
+                (Some(0x1F), false),
+                (Some(1000), false),
+                (None, true),
+                (None, true),
+                (Some(0), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_ranges_are_not_floats() {
+        let lexed = lex("for i in 0..10 {}");
+        let nums: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num { float, .. } => Some(*float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![false, false]);
+        // The `..` survives as two punct tokens.
+        let dots = lexed.tokens.iter().filter(|t| t.tok.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn suffixed_integer_literals_parse_their_value() {
+        let lexed = lex("4usize 7u32 0i64");
+        let vals: Vec<Option<u128>> = lexed.tokens.iter().map(|t| t.tok.int_value()).collect();
+        assert_eq!(vals, vec![Some(4), Some(7), Some(0)]);
+    }
+
+    #[test]
+    fn line_comments_are_recorded_by_line() {
+        let src = "let a = 1; // analyze:allow(test-lint): because\nlet b = 2;";
+        let lexed = lex(src);
+        assert!(lexed.comment_on(1).contains("analyze:allow(test-lint)"));
+        assert_eq!(lexed.comment_on(2), "");
+    }
+
+    #[test]
+    fn format_strings_keep_contents_for_ptr_spec_detection() {
+        let lexed = lex(r#"format!("{:p}", arc)"#);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("{:p}"))));
+    }
+}

@@ -1,0 +1,282 @@
+//! Findings, waivers, and the machine-readable report.
+//!
+//! There is no `serde` offline, so the JSON writer is hand-rolled. It
+//! emits a fixed key order and the report vectors are sorted before
+//! serialization, which makes two runs over the same tree byte-identical
+//! — the property the CLI snapshot test pins.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// An unwaived rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Stable sort key first: file path (unix separators), then line.
+    pub file: String,
+    pub line: u32,
+    /// Lint name, e.g. `determinism-taint`.
+    pub lint: String,
+    pub message: String,
+    /// Trimmed source line, for humans.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// The key used by the baseline file: `file:line:lint`.
+    pub fn baseline_key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.lint)
+    }
+}
+
+/// A violation suppressed by an `analyze:allow(<lint>): …` comment.
+/// Kept visible in the report so justifications stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Waived {
+    pub file: String,
+    pub line: u32,
+    pub lint: String,
+    /// Text after the waiver marker — the "why".
+    pub justification: String,
+}
+
+/// The full analysis report.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Workspace-relative paths of files that could not be read as
+    /// UTF-8. Non-empty means the tree cannot be declared clean.
+    pub skipped_files: Vec<String>,
+    pub findings: Vec<Finding>,
+    pub waived: Vec<Waived>,
+}
+
+impl Report {
+    /// Sort every vector into the canonical order. Idempotent; called
+    /// once before any output.
+    pub fn normalize(&mut self) {
+        self.skipped_files.sort();
+        self.findings.sort();
+        self.findings.dedup();
+        self.waived.sort();
+        self.waived.dedup();
+    }
+
+    /// Findings not present in `baseline` (keys are `file:line:lint`).
+    pub fn new_findings<'a>(&'a self, baseline: &BTreeSet<String>) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| !baseline.contains(&f.baseline_key()))
+            .collect()
+    }
+
+    /// Serialize to JSON with stable ordering. `baseline` marks which
+    /// findings are pre-existing.
+    pub fn to_json(&self, baseline: &BTreeSet<String>) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"skipped_files\": [");
+        for (i, f) in self.skipped_files.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(f));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                s,
+                "{{\"file\": {}, \"line\": {}, \"lint\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.lint),
+                baseline.contains(&f.baseline_key()),
+                json_str(&f.message),
+                json_str(&f.excerpt),
+            );
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"waived\": [");
+        for (i, w) in self.waived.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                s,
+                "{{\"file\": {}, \"line\": {}, \"lint\": {}, \"justification\": {}}}",
+                json_str(&w.file),
+                w.line,
+                json_str(&w.lint),
+                json_str(&w.justification),
+            );
+        }
+        s.push_str(if self.waived.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON-escape a string (quotes included in the output).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse the `findings` array of a baseline file (`{"version":1,
+/// "findings":["file:line:lint", …]}`). Tolerant by design: anything
+/// that is not a string literal inside the array is ignored, and a
+/// missing array yields the empty set.
+pub fn parse_baseline(content: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some(pos) = content.find("\"findings\"") else {
+        return out;
+    };
+    let rest = &content[pos..];
+    let Some(open) = rest.find('[') else {
+        return out;
+    };
+    let body = &rest[open + 1..];
+    let mut chars = body.chars();
+    'outer: while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => break 'outer,
+                        Some('"') => break,
+                        Some('\\') => {
+                            if let Some(e) = chars.next() {
+                                s.push(match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    other => other,
+                                });
+                            }
+                        }
+                        Some(other) => s.push(other),
+                    }
+                }
+                out.insert(s);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 2,
+            skipped_files: vec!["b.rs".into(), "a.rs".into()],
+            findings: vec![
+                Finding {
+                    file: "z.rs".into(),
+                    line: 9,
+                    lint: "panic-path".into(),
+                    message: "unwrap".into(),
+                    excerpt: "x.unwrap()".into(),
+                },
+                Finding {
+                    file: "a.rs".into(),
+                    line: 3,
+                    lint: "raw-sync".into(),
+                    message: "mutex".into(),
+                    excerpt: "Mutex::new(\"quote\")".into(),
+                },
+            ],
+            waived: vec![Waived {
+                file: "a.rs".into(),
+                line: 7,
+                lint: "wall-clock".into(),
+                justification: "observability only".into(),
+            }],
+        };
+        r.normalize();
+        r
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let r = sample();
+        let empty = BTreeSet::new();
+        let one = r.to_json(&empty);
+        let two = r.to_json(&empty);
+        assert_eq!(one, two);
+        // Sorted: a.rs before z.rs, skipped files sorted.
+        let a = one
+            .find("a.rs:")
+            .unwrap_or_else(|| one.find("\"a.rs\"").unwrap());
+        let z = one.find("\"z.rs\"").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let r = sample();
+        let keys: BTreeSet<String> = r.findings.iter().map(|f| f.baseline_key()).collect();
+        let mut file = String::from("{\"version\": 1, \"findings\": [");
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                file.push_str(", ");
+            }
+            file.push_str(&json_str(k));
+        }
+        file.push_str("]}");
+        assert_eq!(parse_baseline(&file), keys);
+        assert!(r.new_findings(&keys).is_empty());
+        assert_eq!(r.new_findings(&BTreeSet::new()).len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_file_means_no_suppression() {
+        assert!(parse_baseline("{\"version\": 1, \"findings\": []}").is_empty());
+        assert!(parse_baseline("").is_empty());
+        assert!(parse_baseline("not json at all").is_empty());
+    }
+
+    #[test]
+    fn baselined_flag_is_set_per_finding() {
+        let r = sample();
+        let mut baseline = BTreeSet::new();
+        baseline.insert("a.rs:3:raw-sync".to_string());
+        let json = r.to_json(&baseline);
+        assert!(json.contains("\"lint\": \"raw-sync\", \"baselined\": true"));
+        assert!(json.contains("\"lint\": \"panic-path\", \"baselined\": false"));
+        assert_eq!(r.new_findings(&baseline).len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workspace-wide property: every identifier token's recorded line
+//! actually contains that identifier in the source. Guards the lexer's
+//! newline accounting (multi-line strings, `\` line continuations,
+//! block comments) — findings are only as good as their line numbers.
+
+use spanner_analyze::lexer::{lex, Tok};
+use std::path::Path;
+
+#[test]
+fn every_ident_token_lands_on_its_source_line() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let mut checked = 0usize;
+    for rel in spanner_analyze::collect_rs_files(root) {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let lines: Vec<&str> = src.lines().collect();
+        for t in &lex(&src).tokens {
+            if let Tok::Ident(s) = &t.tok {
+                let l = t.line as usize;
+                assert!(
+                    l >= 1 && l <= lines.len() && lines[l - 1].contains(s.as_str()),
+                    "{}: ident {s:?} recorded on line {l}, but that line is {:?}",
+                    rel.display(),
+                    lines.get(l.saturating_sub(1)),
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 10_000, "only {checked} idents checked");
+}

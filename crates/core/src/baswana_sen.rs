@@ -93,6 +93,7 @@ pub(crate) fn build_guarded(
         // t = k so the two implementations are comparable.)
         let clusters: HashSet<u32> = cluster_of.iter().flatten().copied().collect();
         let sampled: HashSet<u32> = clusters
+            // analyze:allow(determinism-taint): filtered into a set used for membership only — order cannot leak
             .iter()
             .copied()
             .filter(|&c| cluster_coin(seed, 1, iter, c, p))

@@ -208,6 +208,7 @@ impl<'g> Engine<'g> {
             for &(_, c, _, _) in &cand {
                 *by_cluster.entry(c).or_insert(0) += 1;
             }
+            // analyze:allow(determinism-taint): `max()` is order-insensitive
             by_cluster.values().copied().max().unwrap_or(0)
         };
         // Per super-node, order neighbour clusters by (weight, id): the
@@ -341,9 +342,11 @@ impl<'g> Engine<'g> {
         for &c in self.clusters.keys() {
             self.active[c as usize] = true;
         }
+        // analyze:allow(determinism-taint): one write per distinct key into an indexed slot — order cannot leak
         for (c, tree) in new_tree {
             self.sn_tree[c as usize] = tree;
         }
+        // analyze:allow(determinism-taint): one write per distinct key into an indexed slot — order cannot leak
         for (c, verts) in new_vertices {
             self.sn_vertices[c as usize] = verts;
         }
@@ -361,6 +364,7 @@ impl<'g> Engine<'g> {
             }
         }
         let mut new_live: Vec<LiveEdge> = best
+            // analyze:allow(determinism-taint): collected then sorted by (a, b) below — order cannot leak
             .into_iter()
             .map(|((a, b), (w, id))| LiveEdge { a, b, w, id })
             .collect();

@@ -93,6 +93,7 @@ impl BuildGuard {
             label: label.into(),
             cancel: None,
             deadline: None,
+            // analyze:allow(determinism-taint): deadline/latency telemetry only — never in artifacts
             started: Instant::now(),
         }
     }
@@ -675,6 +676,7 @@ impl<'g> DistanceRequest<'g> {
         guard: &BuildGuard,
     ) -> Result<DistanceOracle, PipelineError> {
         let plan = self.plan()?;
+        // analyze:allow(determinism-taint): build-latency telemetry only — never in artifacts
         let started = Instant::now();
         guard.check()?;
         // The guard rides into the spanner construction itself: engine

@@ -1127,6 +1127,7 @@ impl<'g> SpannerRequest<'g> {
         guard: &distance::BuildGuard,
     ) -> Result<RunReport, PipelineError> {
         let plan = self.plan()?;
+        // analyze:allow(determinism-taint): build-latency telemetry only — never in artifacts
         let started = Instant::now();
         let (result, stats) = self.execute(&plan, guard)?;
         let elapsed = started.elapsed();

@@ -278,6 +278,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
         let before = inner.map.len();
         let mut freed = 0usize;
         let mut dropped_ticks = Vec::new();
+        // analyze:allow(determinism-taint): per-key predicate; freed sum and per-tick order removals are order-insensitive
         inner.map.retain(|k, e| {
             let keep_it = keep(k);
             if !keep_it {
@@ -298,10 +299,13 @@ impl<K: Eq + Hash + Clone, V: Clone> LruStore<K, V> {
             let Some((_, victim)) = inner.order.pop_first() else {
                 break;
             };
-            let e = inner
-                .map
-                .remove(&victim)
-                .expect("order index and map stay in sync");
+            // A stale order entry (index/map drift) is skipped rather
+            // than panicking a serving thread that holds the store
+            // lock; the loop still terminates because `order` shrinks.
+            let Some(e) = inner.map.remove(&victim) else {
+                debug_assert!(false, "order index and map out of sync");
+                continue;
+            };
             inner.used -= e.size;
             inner.evictions += 1;
         }
@@ -413,6 +417,7 @@ impl ServiceStats {
         if executed == 0 {
             Duration::ZERO
         } else {
+            // analyze:allow(panic-path): guarded — the `executed == 0` arm above returns ZERO
             self.busy / executed as u32
         }
     }
@@ -882,6 +887,7 @@ impl SpannerService {
                 return Ok(hit);
             }
         }
+        // analyze:allow(determinism-taint): job-latency telemetry only — never reaches artifacts
         let started = Instant::now();
         // The guard's clock starts at submission, so admission wait
         // counts against the job's deadline — and the guard rides into
@@ -917,6 +923,7 @@ impl SpannerService {
             .insert_or_get(key, Artifact::Spanner(report), size)
         {
             Artifact::Spanner(winner) => Ok(winner),
+            // analyze:allow(panic-path): spanner/oracle key namespaces are disjoint by construction
             Artifact::Oracle(_) => unreachable!("spanner keys never map to oracle artifacts"),
         }
     }
@@ -939,6 +946,7 @@ impl SpannerService {
                 return Ok(hit);
             }
         }
+        // analyze:allow(determinism-taint): job-latency telemetry only — never reaches artifacts
         let started = Instant::now();
         // The guard's clock starts at submission, so admission wait
         // counts against the job's deadline — and a queued job whose
@@ -976,6 +984,7 @@ impl SpannerService {
             .insert_or_get(key, Artifact::Oracle(oracle), size)
         {
             Artifact::Oracle(winner) => Ok(winner),
+            // analyze:allow(panic-path): spanner/oracle key namespaces are disjoint by construction
             Artifact::Spanner(_) => unreachable!("oracle keys never map to spanner artifacts"),
         }
     }
@@ -1017,6 +1026,7 @@ impl SpannerService {
         request: &SpannerRequest<'_>,
     ) -> Result<RunReport, PipelineError> {
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        // analyze:allow(determinism-taint): job-latency telemetry only — never reaches artifacts
         let started = Instant::now();
         let out = (|| {
             let _permit = self.admission.acquire(&self.counters)?;
@@ -1034,6 +1044,7 @@ impl SpannerService {
         cancel: Option<&CancelToken>,
     ) -> Result<DistanceOracle, PipelineError> {
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        // analyze:allow(determinism-taint): job-latency telemetry only — never reaches artifacts
         let started = Instant::now();
         let out = (|| {
             let mut guard = BuildGuard::new(request.spanner_request().algorithm().label());

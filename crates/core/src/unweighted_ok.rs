@@ -274,6 +274,7 @@ pub(crate) fn build(g: &Graph, k: u32, cfg: UnweightedOkConfig, seed: u64) -> Sp
     if !aux.is_empty() {
         // Compact Z for the Graph type.
         let z_ids: Vec<u32> = {
+            // analyze:allow(determinism-taint): collected then sorted and deduped below — order cannot leak
             let mut s: Vec<u32> = aux.keys().flat_map(|&(a, b)| [a, b]).collect();
             s.sort_unstable();
             s.dedup();
@@ -285,6 +286,7 @@ pub(crate) fn build(g: &Graph, k: u32, cfg: UnweightedOkConfig, seed: u64) -> Sp
             .map(|(i, &z)| (z, i as u32))
             .collect();
         let mut hb = GraphBuilder::new(z_ids.len());
+        // analyze:allow(determinism-taint): GraphBuilder::build canonicalises (sorts + dedups), so insertion order cannot leak
         for &(z1, z2) in aux.keys() {
             hb.add_edge(index[&z1], index[&z2], 1);
         }

@@ -167,8 +167,11 @@ pub fn random_geometric(n: usize, radius: f64, weights: WeightModel, seed: u64) 
     // Grid bucketing for near-linear edge discovery.
     let cell = radius.max(1e-9);
     let cells = (1.0 / cell).ceil() as i64 + 1;
-    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
-        std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the weight RNG is consumed in edge
+    // discovery order, so bucket iteration order must be deterministic
+    // or same-seed graphs get different weights run to run.
+    let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<u32>> =
+        std::collections::BTreeMap::new();
     for (i, &(x, y)) in pts.iter().enumerate() {
         let key = ((x / cell) as i64, (y / cell) as i64);
         buckets.entry(key).or_default().push(i as u32);
@@ -502,6 +505,20 @@ mod tests {
         assert!(
             (m - expected).abs() < 4.0 * expected.sqrt() + 20.0,
             "m={m} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_per_seed_including_weights() {
+        // Pins the BTreeMap bucket fix: edge discovery order drives the
+        // weight RNG, so same-seed builds must agree edge-for-edge,
+        // weights included.
+        let a = random_geometric(300, 0.08, WeightModel::Uniform(1, 100), 11);
+        let b = random_geometric(300, 0.08, WeightModel::Uniform(1, 100), 11);
+        assert_eq!(a.edges(), b.edges());
+        assert!(
+            a.m() > 0,
+            "radius 0.08 over 300 points should produce edges"
         );
     }
 

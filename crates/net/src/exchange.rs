@@ -47,6 +47,7 @@ pub fn exchange<T: Send + Sync>(
         // If this machine's half-round panics, poison the barrier so
         // its peers fail fast instead of waiting on it forever.
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // analyze:allow(panic-path): `m < p` from the pool; each outbox is taken exactly once per round
             let mine = inbox[m].lock().take().expect("outbox taken once");
             let mut per_dst: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
             let mut sent = 0u64;
@@ -54,6 +55,7 @@ pub fn exchange<T: Send + Sync>(
                 if dst != m {
                     sent += w;
                 }
+                // analyze:allow(panic-path): an out-of-range destination panics this machine, is caught below, and poisons the barrier — fail fast over wedging peers
                 per_dst[dst].push(rec);
             }
             router.post(m, per_dst);
@@ -67,6 +69,7 @@ pub fn exchange<T: Send + Sync>(
                 }
                 shard.extend(part);
             }
+            // analyze:allow(panic-path): `m < p` from the pool — one outcome slot per machine
             *outcome[m].lock() = Some((shard, sent, recv));
         }));
         if let Err(payload) = result {
@@ -82,6 +85,7 @@ pub fn exchange<T: Send + Sync>(
         let (shard, sent, recv) = slot
             .lock()
             .take()
+            // analyze:allow(panic-path): run_round returned, so every machine completed its round (or re-raised)
             .expect("every machine stored its outcome");
         shards.push(shard);
         sent_words.push(sent);

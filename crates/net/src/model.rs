@@ -46,6 +46,7 @@ impl NetworkModel {
                 bytes_per_sec,
             } => {
                 let critical = max_sent_bytes.max(max_recv_bytes) as f64;
+                // analyze:allow(panic-path): f64 operands — float division cannot trap
                 latency_s + critical / bytes_per_sec
             }
             NetworkModel::Switched {

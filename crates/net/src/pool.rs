@@ -78,6 +78,7 @@ impl MachinePool {
                 thread::Builder::new()
                     .name(format!("mpc-machine-{m}"))
                     .spawn(move || worker(m, &shared))
+                    // analyze:allow(panic-path): construction-time spawn — an executor that cannot start is fatal by design
                     .expect("spawn machine thread")
             })
             .collect();
@@ -116,6 +117,7 @@ impl MachinePool {
         let panicked = s.panic_msg.take();
         drop(s);
         if let Some(msg) = panicked {
+            // analyze:allow(panic-path): deliberate re-raise — surfaces a captured machine-thread panic to the coordinator
             panic!("machine thread panicked during round: {msg}");
         }
     }
@@ -153,6 +155,7 @@ fn worker(m: usize, shared: &Shared) {
         }
         if s.epoch != seen_epoch {
             seen_epoch = s.epoch;
+            // analyze:allow(panic-path): the coordinator publishes the task before bumping the epoch under this same mutex
             let task = s.task.expect("task published with its epoch");
             drop(s);
             // SAFETY: the coordinator keeps the task borrow alive until
@@ -227,6 +230,7 @@ impl RoundBarrier {
     pub fn arrive_and_wait(&self) {
         let mut s = self.state.lock();
         if s.poisoned {
+            // analyze:allow(panic-path): deliberate fail-fast — a poisoned barrier means a peer died and will never arrive
             panic!("round barrier poisoned: a peer panicked mid-round");
         }
         s.arrived += 1;
@@ -240,6 +244,7 @@ impl RoundBarrier {
         while s.generation == gen {
             s = self.cv.wait(s);
             if s.poisoned {
+                // analyze:allow(panic-path): deliberate fail-fast — a poisoned barrier means a peer died and will never arrive
                 panic!("round barrier poisoned: a peer panicked mid-round");
             }
         }

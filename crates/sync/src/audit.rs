@@ -66,7 +66,7 @@ struct Registry {
     /// Adjacency: class -> classes acquired while it was held.
     adj: HashMap<&'static str, HashSet<&'static str>>,
     /// First held-stack example that recorded each edge.
-    edges: HashMap<(&'static str, &'static str), String>,
+    order_edges: HashMap<(&'static str, &'static str), String>,
     counters: HashMap<&'static str, Counters>,
 }
 
@@ -149,7 +149,7 @@ fn before_acquire(class: &'static str, id: u64) {
                 if let Some(path) = find_path(&reg.adj, class, prior.class) {
                     let example = path
                         .windows(2)
-                        .filter_map(|w| reg.edges.get(&(w[0], w[1])))
+                        .filter_map(|w| reg.order_edges.get(&(w[0], w[1])))
                         .next()
                         .cloned()
                         .unwrap_or_else(|| "<example lost>".to_string());
@@ -164,7 +164,7 @@ fn before_acquire(class: &'static str, id: u64) {
                 if reg.adj.entry(prior.class).or_default().insert(class) {
                     let mut stack = held_stack_names(&held);
                     stack.push(class);
-                    reg.edges.insert(
+                    reg.order_edges.insert(
                         (prior.class, class),
                         format!("a thread held {stack:?} in that order"),
                     );
@@ -291,6 +291,7 @@ impl<T> TrackedMutex<T> {
         on_acquired(self.name, self.id, contended);
         MutexGuard {
             lock: self,
+            // analyze:allow(determinism-taint): lock-audit held-time metrics — observability only
             start: Instant::now(),
             inner: Some(inner),
         }
@@ -580,6 +581,7 @@ impl<T> TrackedRwLock<T> {
         RwLockWriteGuard {
             name: self.name,
             id: self.id,
+            // analyze:allow(determinism-taint): lock-audit held-time metrics — observability only
             start: Instant::now(),
             inner: Some(inner),
         }

@@ -1,18 +1,26 @@
 //! Repo-specific developer tasks. The one that matters is
 //!
 //! ```text
-//! cargo xtask analyze
+//! cargo xtask analyze [--format text|json] [--baseline <path> | --no-baseline]
+//!                     [--write-baseline] [--root <path>]
 //! ```
 //!
-//! a static lint pass over the workspace sources enforcing the concurrency
-//! rules that `rustc`/`clippy` cannot express for us (see [`analyze`] for the
-//! lint list and the waiver syntax). Exits non-zero when any lint fires, so
-//! CI can gate on it.
+//! the static-analysis pass over the workspace (see the
+//! `spanner-analyze` crate for the lint list and waiver syntax).
+//!
+//! Exit codes form a contract CI and scripts rely on:
+//!
+//! * `0` — clean: every file read, no findings beyond the baseline;
+//! * `1` — new findings (not in `analyze-baseline.json`);
+//! * `2` — unreadable / non-UTF8 sources were skipped. A tree the
+//!   analyzer could not fully read is never reported clean, so this
+//!   dominates the other codes.
 
-mod analyze;
-
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use spanner_analyze::report::parse_baseline;
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/xtask, so the workspace root is one level up
@@ -23,45 +31,134 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask analyze [--format text|json] [--baseline <path> | --no-baseline]"
+    );
+    eprintln!("                           [--write-baseline] [--root <path>]");
+    eprintln!();
+    eprintln!("Static analysis over the workspace: determinism-taint, panic-path,");
+    eprintln!("raw-sync, stray-spawn, wall-clock, unsafe-comment.");
+    eprintln!();
+    eprintln!("exit codes: 0 clean · 1 new findings · 2 unreadable files skipped");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("analyze") => {
-            let root = workspace_root();
-            let report = analyze::run(&root);
-            for v in &report.violations {
+    if args.next().as_deref() != Some("analyze") {
+        return usage();
+    }
+
+    let mut format = Format::Text;
+    let mut root = workspace_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut use_baseline = true;
+    let mut write_baseline = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format takes `text` or `json`, got {other:?}");
+                    return usage();
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--no-baseline" => use_baseline = false,
+            "--write-baseline" => write_baseline = true,
+            _ => {
+                eprintln!("unknown argument: {arg}");
+                return usage();
+            }
+        }
+    }
+
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join("analyze-baseline.json"));
+    let baseline: BTreeSet<String> = if use_baseline {
+        match std::fs::read_to_string(&baseline_file) {
+            Ok(content) => parse_baseline(&content),
+            Err(_) => BTreeSet::new(), // no baseline yet: everything is new
+        }
+    } else {
+        BTreeSet::new()
+    };
+
+    let report = spanner_analyze::run(&root);
+
+    if write_baseline {
+        let mut s = String::from("{\"version\": 1, \"findings\": [");
+        for (i, f) in report.findings.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&spanner_analyze::report::json_str(&f.baseline_key()));
+        }
+        s.push_str("]}\n");
+        if let Err(e) = std::fs::write(&baseline_file, s) {
+            eprintln!("cannot write {}: {e}", baseline_file.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} finding(s) to {}",
+            report.findings.len(),
+            baseline_file.display()
+        );
+    }
+
+    let new = report.new_findings(&baseline);
+
+    match format {
+        Format::Json => print!("{}", report.to_json(&baseline)),
+        Format::Text => {
+            for f in &new {
                 println!(
                     "{}:{}: [{}] {}\n    {}",
-                    v.file.display(),
-                    v.line,
-                    v.lint.name(),
-                    v.lint.message(),
-                    v.excerpt
+                    f.file, f.line, f.lint, f.message, f.excerpt
                 );
             }
-            if report.violations.is_empty() {
-                println!(
-                    "analyze: ok — {} files scanned, 0 violations",
-                    report.files_scanned
-                );
-                ExitCode::SUCCESS
+            let summary = format!(
+                "{} files scanned, {} finding(s) ({} new), {} waived, {} unreadable",
+                report.files_scanned,
+                report.findings.len(),
+                new.len(),
+                report.waived.len(),
+                report.skipped_files.len()
+            );
+            if new.is_empty() && report.skipped_files.is_empty() {
+                println!("analyze: ok — {summary}");
             } else {
                 println!(
-                    "analyze: {} violation(s) in {} files scanned; waive a line with \
-                     `// analyze:allow(<lint>): reason` on it or the line above",
-                    report.violations.len(),
-                    report.files_scanned
+                    "analyze: {summary}; waive a line with `// analyze:allow(<lint>): reason` \
+                     on it or the line above"
                 );
-                ExitCode::FAILURE
             }
         }
-        _ => {
-            eprintln!("usage: cargo xtask analyze");
-            eprintln!();
-            eprintln!("tasks:");
-            eprintln!("  analyze   static concurrency lints (raw-sync, stray-spawn,");
-            eprintln!("            wall-clock, unsafe-comment); non-zero exit on violation");
-            ExitCode::FAILURE
+    }
+
+    // Unreadable files dominate: the tree cannot be declared clean.
+    if !report.skipped_files.is_empty() {
+        for f in &report.skipped_files {
+            eprintln!("analyze: skipped unreadable/non-UTF8 file: {f}");
         }
+        return ExitCode::from(2);
+    }
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
