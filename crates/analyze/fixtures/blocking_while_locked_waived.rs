@@ -1,0 +1,31 @@
+//! The same held-lock park as `blocking_while_locked.rs`, waived at
+//! the call site.
+
+pub struct Gate {
+    state: TrackedMutex<u32>,
+    aux: TrackedMutex<u32>,
+    ready: TrackedCondvar,
+}
+
+impl Gate {
+    pub fn new() -> Self {
+        Gate {
+            state: TrackedMutex::new("fix.state", 0),
+            aux: TrackedMutex::new("fix.aux", 0),
+            ready: TrackedCondvar::new("fix.ready"),
+        }
+    }
+
+    fn settle(&self) {
+        let mut s = self.state.lock();
+        s = self.ready.wait(s);
+        drop(s);
+    }
+
+    pub fn stall(&self) {
+        let a = self.aux.lock();
+        // analyze:allow(blocking-while-locked): seeded park kept as the firing fixture
+        self.settle();
+        drop(a);
+    }
+}

@@ -1,0 +1,31 @@
+//! The same seeded inversion as `lock_order.rs`, waived. A cycle is
+//! one finding, reported at its smallest-class edge's witness — the
+//! `fix.a → fix.b` acquisition in `ab` — so that is the line that
+//! carries the waiver.
+
+pub struct Pair {
+    a: TrackedMutex<u32>,
+    b: TrackedMutex<u32>,
+}
+
+impl Pair {
+    pub fn new() -> Self {
+        Pair {
+            a: TrackedMutex::new("fix.a", 0),
+            b: TrackedMutex::new("fix.b", 0),
+        }
+    }
+
+    pub fn ab(&self) {
+        let ga = self.a.lock();
+        // analyze:allow(static-lock-order): seeded inversion kept as the firing fixture
+        let gb = self.b.lock();
+        drop((ga, gb));
+    }
+
+    pub fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop((ga, gb));
+    }
+}

@@ -1,0 +1,7 @@
+//! A serving-stack entry point (analyzed under a pipeline path) whose
+//! only sin is calling a helper that lives outside the per-file
+//! panic-path scope — the interprocedural pass must follow the call.
+
+pub fn execute() {
+    helper_step();
+}

@@ -1,0 +1,8 @@
+//! A helper outside the serving-stack file scope with a bare
+//! `.unwrap()`. Alone it is clean; reached from `panic_reach_entry.rs`
+//! it must fire panic-path with the witness chain.
+
+pub fn helper_step() {
+    let v: Vec<u32> = Vec::new();
+    let _ = v.first().unwrap();
+}

@@ -1,0 +1,7 @@
+//! The same reachable `.unwrap()` as `panic_reach_helper.rs`, waived.
+
+pub fn helper_step() {
+    let v: Vec<u32> = Vec::new();
+    // analyze:allow(panic-path): seeded reachable unwrap kept as the firing fixture
+    let _ = v.first().unwrap();
+}

@@ -1,0 +1,5 @@
+//! A waiver whose finding is long gone: nothing on this line or the
+//! next can fire panic-path, so the marker itself is the finding.
+
+// analyze:allow(panic-path): stale — the unwrap this covered was removed
+pub fn tidy() {}

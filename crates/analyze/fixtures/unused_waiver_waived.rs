@@ -1,0 +1,6 @@
+//! A deliberately kept stale marker, meta-waived: the pair lands in
+//! the waived ledger instead of the findings.
+
+// analyze:allow(unused-waiver): kept as the living example of waiver syntax
+// analyze:allow(panic-path): illustrative only
+pub fn tidy() {}

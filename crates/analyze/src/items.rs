@@ -38,6 +38,27 @@ pub fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Base name of the callee (`lock`, `take_next`, `println`).
+    pub name: String,
+    /// Token index of the name, for liveness analyses that need to know
+    /// *where* in the body the call happens.
+    pub tok: usize,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// For method calls `recv.name(…)`: the last path segment of the
+    /// receiver (`state` in `self.inner.state.lock()`, `inbox` in
+    /// `inbox[m].lock()`). `None` for free/path calls.
+    pub recv: Option<String>,
+    /// For path calls `A::name(…)`: the segment before the name
+    /// (`QueueState` in `QueueState::take_next(…)`, `Self`).
+    pub path_qual: Option<String>,
+    /// `name!(…)` macro invocation rather than a fn call.
+    pub is_macro: bool,
+}
+
 /// One function item.
 #[derive(Debug)]
 pub struct FnInfo {
@@ -53,9 +74,8 @@ pub struct FnInfo {
     pub sig: Range<usize>,
     /// Token range strictly inside the body braces.
     pub body: Range<usize>,
-    /// Base names of calls made in the body (`f(…)`, `x.f(…)`,
-    /// `f::<T>(…)`, `f!(…)`).
-    pub calls: Vec<String>,
+    /// Calls made in the body (`f(…)`, `x.f(…)`, `f::<T>(…)`, `f!(…)`).
+    pub calls: Vec<Call>,
 }
 
 /// Everything extracted from one file.
@@ -507,7 +527,9 @@ impl Indexer<'_> {
     }
 
     /// A non-keyword ident inside a fn body: record a call edge when it
-    /// is followed by `(`, `!`, or a `::<…>(` turbofish.
+    /// is followed by `(`, `!`, or a `::<…>(` turbofish. The receiver
+    /// segment (for `recv.name(…)`) and path qualifier (for
+    /// `A::name(…)`) travel along for the resolution heuristics.
     fn maybe_call(&mut self, name: String) {
         let Some(fn_idx) = self.frames.iter().rev().find_map(|f| match f.kind {
             FrameKind::Fn(idx) => Some(idx),
@@ -516,14 +538,72 @@ impl Indexer<'_> {
             return;
         };
         let i = self.i;
+        let is_macro = self.punct(i + 1, '!');
         let call = self.punct(i + 1, '(')
-            || self.punct(i + 1, '!')
+            || is_macro
             || (self.punct(i + 1, ':') && self.punct(i + 2, ':') && self.punct(i + 3, '<') && {
                 let e = self.skip_angles(i + 3);
                 self.punct(e, '(')
             });
-        if call {
-            self.fns[fn_idx].calls.push(name);
+        if !call {
+            return;
+        }
+        let mut recv = None;
+        let mut path_qual = None;
+        if self.punct(i.wrapping_sub(1), '.') {
+            recv = self.recv_segment(i.wrapping_sub(2));
+        } else if self.punct(i.wrapping_sub(1), ':') && self.punct(i.wrapping_sub(2), ':') {
+            if let Some(q) = self.ident(i.wrapping_sub(3)) {
+                if !is_keyword(q) || q == "Self" || q == "self" {
+                    path_qual = Some(q.to_string());
+                }
+            }
+        }
+        self.fns[fn_idx].calls.push(Call {
+            name,
+            tok: i,
+            line: self.t[i].line,
+            recv,
+            path_qual,
+            is_macro,
+        });
+    }
+
+    /// The last path segment of a method receiver ending at token `j`
+    /// (the token before the `.`): steps back over one trailing index
+    /// `[…]` or call `(…)` so `inbox[m].lock()` and `slot(m).lock()`
+    /// both resolve to their base ident.
+    fn recv_segment(&self, j: usize) -> Option<String> {
+        let mut j = j;
+        let close_open = match self.t.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct(']')) => Some((']', '[')),
+            Some(Tok::Punct(')')) => Some((')', '(')),
+            _ => None,
+        };
+        if let Some((close, open)) = close_open {
+            let mut depth = 0usize;
+            loop {
+                match self.t.get(j).map(|t| &t.tok) {
+                    Some(Tok::Punct(c)) if *c == close => depth += 1,
+                    Some(Tok::Punct(c)) if *c == open => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    None => return None,
+                    _ => {}
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            j = j.checked_sub(1)?;
+        }
+        match self.t.get(j).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if !is_keyword(s) || s == "self" => Some(s.clone()),
+            _ => None,
         }
     }
 }
@@ -615,14 +695,49 @@ mod tests {
         ";
         let ix = index(src);
         let calls = &ix.fns[0].calls;
+        let has = |n: &str| calls.iter().any(|c| c.name == n);
         for expect in ["helper", "iter", "sum", "parse", "println"] {
-            assert!(
-                calls.contains(&expect.to_string()),
-                "missing {expect} in {calls:?}"
-            );
+            assert!(has(expect), "missing {expect} in {calls:?}");
         }
         // Struct literals are not calls.
-        assert!(!calls.contains(&"Struct".to_string()));
+        assert!(!has("Struct"));
+    }
+
+    #[test]
+    fn call_sites_carry_receiver_and_path_qualifier() {
+        let src = "
+            fn caller(&self) {
+                free();
+                self.inner.state.lock();
+                inbox[m].lock();
+                QueueState::take_next();
+                Self::helper();
+                println!(\"hi\");
+            }
+        ";
+        let ix = index(src);
+        let calls = &ix.fns[0].calls;
+        let find = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("free").recv, None);
+        assert_eq!(find("free").path_qual, None);
+        assert_eq!(find("lock").recv.as_deref(), Some("state"));
+        assert_eq!(
+            calls
+                .iter()
+                .filter(|c| c.name == "lock")
+                .nth(1)
+                .unwrap()
+                .recv
+                .as_deref(),
+            Some("inbox")
+        );
+        assert_eq!(find("take_next").path_qual.as_deref(), Some("QueueState"));
+        assert_eq!(find("helper").path_qual.as_deref(), Some("Self"));
+        assert!(find("println").is_macro);
+        assert!(!find("lock").is_macro);
+        // Token indices are inside the body and lines are 1-based.
+        assert!(ix.fns[0].body.contains(&find("free").tok));
+        assert!(find("free").line >= 2);
     }
 
     #[test]
@@ -667,6 +782,6 @@ mod tests {
         let ix = index(src);
         let quals: Vec<&str> = ix.fns.iter().map(|f| f.qual.as_str()).collect();
         assert_eq!(quals, vec!["outer", "outer::inner"]);
-        assert!(ix.fns[0].calls.contains(&"inner".to_string()));
+        assert!(ix.fns[0].calls.iter().any(|c| c.name == "inner"));
     }
 }

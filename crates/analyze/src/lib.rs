@@ -8,23 +8,36 @@
 //!    raw identifiers right, and keeps per-line comment text for waiver
 //!    and `SAFETY:` lookups.
 //! 2. [`items`] — a scope-stack walk over the tokens producing each
-//!    fn's qualified name, body range, test-ness and called names, plus
-//!    hash-typed struct fields.
-//! 3. The passes: [`taint`] (determinism taint over the call graph),
-//!    [`panics`] (panic-path audit of the serving stack), and [`lints`]
-//!    (the four original per-file lints, now token-based).
+//!    fn's qualified name, body range, test-ness and call sites (with
+//!    receiver/path context), plus hash-typed struct fields.
+//! 3. [`callgraph`] — one whole-workspace call graph resolving those
+//!    call sites to workspace fn definitions, shared by every
+//!    interprocedural pass and exportable as JSON
+//!    (`cargo xtask analyze --callgraph-json`).
+//! 4. The passes: [`taint`] (determinism taint), [`panics`]
+//!    (panic-path audit of the serving stack plus whole-program
+//!    reachability), [`lockorder`] (static lock-order cycles and
+//!    blocking-while-locked), [`lints`] (the four per-file lints), and
+//!    [`waivers`] (unused-waiver hygiene over the run's own ledger).
 //!
 //! Output is a [`report::Report`]: sorted findings, visible waivers,
 //! and the list of files that could not be read — serializable to
 //! stable JSON for the checked-in `analyze-baseline.json` workflow.
+//! [`Options`] narrows the *reported view* (`--only` by lint, `--files`
+//! by glob); the analysis itself always runs workspace-wide so
+//! interprocedural facts never depend on the filter.
 
+pub mod callgraph;
 pub mod items;
 pub mod lexer;
 pub mod lints;
+pub mod lockorder;
 pub mod panics;
 pub mod report;
 pub mod taint;
+pub mod waivers;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -75,13 +88,65 @@ pub fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// A narrowed *view* of a run: the analysis is always workspace-wide,
+/// only the reported findings/waivers are filtered.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Keep only these lints (`--only determinism-taint,panic-path`).
+    pub only: Option<BTreeSet<String>>,
+    /// Keep only findings in files matching any of these globs
+    /// (`--files 'crates/net/**'`). `*` matches within one path
+    /// segment, `**` across segments, `?` one character.
+    pub files: Option<Vec<String>>,
+}
+
+/// Match `path` (workspace-relative, `/`-separated) against a glob.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    fn go(p: &[char], t: &[char]) -> bool {
+        let Some(&c) = p.first() else {
+            return t.is_empty();
+        };
+        match c {
+            '*' if p.get(1) == Some(&'*') => {
+                let rest = &p[2..];
+                // `**/` may also match nothing ("**/q.rs" ~ "q.rs").
+                if go(rest, t) || (rest.first() == Some(&'/') && go(&rest[1..], t)) {
+                    return true;
+                }
+                (0..t.len()).any(|k| go(rest, &t[k + 1..]))
+            }
+            '*' => {
+                let rest = &p[1..];
+                if go(rest, t) {
+                    return true;
+                }
+                t.iter()
+                    .take_while(|&&x| x != '/')
+                    .enumerate()
+                    .any(|(k, _)| go(rest, &t[k + 1..]))
+            }
+            '?' => t.first().is_some_and(|&x| x != '/') && go(&p[1..], &t[1..]),
+            _ => t.first() == Some(&c) && go(&p[1..], &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = path.chars().collect();
+    go(&p, &t)
+}
+
 /// Analyze in-memory sources (the unit-test and fixture entry point:
 /// paths are virtual and decide each pass's scope).
 pub fn analyze_sources(sources: &[(PathBuf, String)]) -> Report {
+    analyze_sources_with(sources, &Options::default())
+}
+
+/// [`analyze_sources`] with a report filter.
+pub fn analyze_sources_with(sources: &[(PathBuf, String)], opts: &Options) -> Report {
     let files: Vec<FileIndex> = sources
         .iter()
         .map(|(rel, src)| index_file(rel, src))
         .collect();
+    let graph = callgraph::Graph::build(&files);
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
@@ -91,12 +156,31 @@ pub fn analyze_sources(sources: &[(PathBuf, String)]) -> Report {
         report.findings.extend(f);
         report.waived.extend(w);
     }
-    let (f, w) = taint::run(&files);
+    for (f, w) in [
+        taint::run(&files, &graph),
+        panics::run(&files, &graph),
+        lockorder::run(&files, &graph),
+    ] {
+        report.findings.extend(f);
+        report.waived.extend(w);
+    }
+    // Waiver hygiene judges the complete, unfiltered ledger.
+    let (f, w) = waivers::run(&files, &report.waived);
     report.findings.extend(f);
     report.waived.extend(w);
-    let (f, w) = panics::run(&files);
-    report.findings.extend(f);
-    report.waived.extend(w);
+
+    if let Some(only) = &opts.only {
+        report.findings.retain(|f| only.contains(&f.lint));
+        report.waived.retain(|w| only.contains(&w.lint));
+    }
+    if let Some(globs) = &opts.files {
+        report
+            .findings
+            .retain(|f| globs.iter().any(|g| glob_match(g, &f.file)));
+        report
+            .waived
+            .retain(|w| globs.iter().any(|g| glob_match(g, &w.file)));
+    }
     report.normalize();
     report
 }
@@ -105,6 +189,30 @@ pub fn analyze_sources(sources: &[(PathBuf, String)]) -> Report {
 /// are counted in [`Report::skipped_files`], not silently dropped: a
 /// tree the analyzer cannot read is not a tree it can declare clean.
 pub fn run(root: &Path) -> Report {
+    run_with(root, &Options::default())
+}
+
+/// [`run`] with a report filter.
+pub fn run_with(root: &Path, opts: &Options) -> Report {
+    let (sources, skipped) = read_workspace(root);
+    let mut report = analyze_sources_with(&sources, opts);
+    report.files_scanned = sources.len() + skipped.len();
+    report.skipped_files = skipped;
+    report.normalize();
+    report
+}
+
+/// The workspace call graph as stable JSON (`--callgraph-json`).
+pub fn callgraph_json(root: &Path) -> String {
+    let (sources, _) = read_workspace(root);
+    let files: Vec<FileIndex> = sources
+        .iter()
+        .map(|(rel, src)| index_file(rel, src))
+        .collect();
+    callgraph::Graph::build(&files).to_json(&files)
+}
+
+fn read_workspace(root: &Path) -> (Vec<(PathBuf, String)>, Vec<String>) {
     let mut sources = Vec::new();
     let mut skipped = Vec::new();
     for rel in collect_rs_files(root) {
@@ -113,11 +221,7 @@ pub fn run(root: &Path) -> Report {
             Err(_) => skipped.push(rel.to_string_lossy().replace('\\', "/")),
         }
     }
-    let mut report = analyze_sources(&sources);
-    report.files_scanned = sources.len() + skipped.len();
-    report.skipped_files = skipped;
-    report.normalize();
-    report
+    (sources, skipped)
 }
 
 #[cfg(test)]
@@ -165,10 +269,65 @@ mod tests {
     }
 
     #[test]
+    fn glob_patterns_match_like_unix_paths() {
+        assert!(glob_match("crates/net/**", "crates/net/src/pool.rs"));
+        assert!(glob_match(
+            "**/queue.rs",
+            "crates/core/src/pipeline/queue.rs"
+        ));
+        assert!(glob_match("**/queue.rs", "queue.rs"));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/sync/src/lib.rs"));
+        assert!(glob_match(
+            "**/sh?rd.rs",
+            "crates/core/src/pipeline/shard.rs"
+        ));
+        // `*` stays inside one segment; `?` never matches `/`.
+        assert!(!glob_match("crates/*/lib.rs", "crates/sync/src/lib.rs"));
+        assert!(!glob_match("a?b", "a/b"));
+        assert!(!glob_match(
+            "**/queue.rs",
+            "crates/core/src/pipeline/shard.rs"
+        ));
+    }
+
+    #[test]
+    fn only_and_files_filters_narrow_the_report() {
+        let sources = vec![
+            (
+                PathBuf::from("crates/core/src/pipeline/queue.rs"),
+                "pub fn f(v: Vec<u32>) -> u32 { let m = Mutex::new(0); let _ = m; v[0] }"
+                    .to_string(),
+            ),
+            (
+                PathBuf::from("crates/net/src/virtualfile.rs"),
+                "pub fn g() { let t = Instant::now(); let _ = t; }".to_string(),
+            ),
+        ];
+        let only = Options {
+            only: Some(["panic-path".to_string()].into_iter().collect()),
+            files: None,
+        };
+        let report = analyze_sources_with(&sources, &only);
+        assert!(!report.findings.is_empty());
+        assert!(report.findings.iter().all(|f| f.lint == "panic-path"));
+
+        let files = Options {
+            only: None,
+            files: Some(vec!["crates/net/**".to_string()]),
+        };
+        let report = analyze_sources_with(&sources, &files);
+        assert!(!report.findings.is_empty());
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.file.starts_with("crates/net/")));
+    }
+
+    #[test]
     fn workspace_is_clean() {
         // The real tree: every finding must be fixed or waived. This is
         // the same discipline the old xtask test enforced, now across
-        // all six lints.
+        // all nine lints.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .parent()
             .and_then(Path::parent)

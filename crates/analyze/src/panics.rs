@@ -17,11 +17,23 @@
 //! * integer `/` and `%` — division by a runtime-zero divisor panics
 //!   (division by a nonzero *literal* is provably fine and skipped).
 //!
+//! On top of the per-file audit, the pass walks the workspace call
+//! graph: any function *reachable* from a serving-stack entry point is
+//! also audited, wherever it lives, because its panic unwinds through
+//! the serving thread all the same. Outside the serving files the site
+//! kinds are deliberately narrower — bare `.unwrap()` and the
+//! `panic!`-family macros only. `.expect(…)` documents its invariant
+//! and indexing/division are ubiquitous in the engine's hot loops;
+//! flagging those workspace-wide would drown the signal. Each
+//! reachability finding prints the shortest witness call chain from an
+//! entry point.
+//!
 //! Waive with `// analyze:allow(panic-path): why this cannot fire /
 //! why dying is correct` on the site or the line above.
 
 use std::path::Path;
 
+use crate::callgraph::Graph;
 use crate::items::{is_keyword, FileIndex};
 use crate::lexer::Tok;
 use crate::report::{Finding, Waived};
@@ -38,9 +50,27 @@ pub fn in_scope(rel: &Path) -> bool {
         || s.starts_with("crates/net/src")
 }
 
-pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
+pub fn run(files: &[FileIndex], graph: &Graph) -> (Vec<Finding>, Vec<Waived>) {
     let mut findings = Vec::new();
     let mut waived = Vec::new();
+    let mut emit =
+        |file: &FileIndex, line: u32, message: String| match waiver_on(&file.lexed, line, LINT) {
+            Some(justification) => waived.push(Waived {
+                file: file.rel.to_string_lossy().replace('\\', "/"),
+                line,
+                lint: LINT.to_string(),
+                justification,
+            }),
+            None => findings.push(Finding {
+                file: file.rel.to_string_lossy().replace('\\', "/"),
+                line,
+                lint: LINT.to_string(),
+                message,
+                excerpt: file.excerpt(line),
+            }),
+        };
+
+    // Per-file audit of the serving files themselves: every site kind.
     for file in files {
         if !in_scope(&file.rel) {
             continue;
@@ -49,30 +79,56 @@ pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
             if f.is_test {
                 continue;
             }
-            for (line, what) in sites_in(file, f.body.clone()) {
-                match waiver_on(&file.lexed, line, LINT) {
-                    Some(justification) => waived.push(Waived {
-                        file: file.rel.to_string_lossy().replace('\\', "/"),
-                        line,
-                        lint: LINT.to_string(),
-                        justification,
-                    }),
-                    None => findings.push(Finding {
-                        file: file.rel.to_string_lossy().replace('\\', "/"),
-                        line,
-                        lint: LINT.to_string(),
-                        message: format!("{what} in `{}` on the serving path", f.qual),
-                        excerpt: file.excerpt(line),
-                    }),
-                }
+            for (line, what) in sites_in(file, f.body.clone(), false) {
+                emit(
+                    file,
+                    line,
+                    format!("{what} in `{}` on the serving path", f.qual),
+                );
             }
+        }
+    }
+
+    // Interprocedural: everything a serving entry point can reach,
+    // audited with the narrower site kinds (see module docs).
+    let roots = (0..graph.nodes.len()).filter(|&i| in_scope(&graph.file(files, i).rel));
+    let (reached, parent) = graph.reach(roots);
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if !reached[id] {
+            continue;
+        }
+        let file = &files[node.file];
+        if in_scope(&file.rel) {
+            continue; // the per-file audit above already covers it
+        }
+        let f = &file.fns[node.f];
+        let sites = sites_in(file, f.body.clone(), true);
+        if sites.is_empty() {
+            continue;
+        }
+        let chain = graph.chain_to(files, &parent, id);
+        for (line, what) in sites {
+            emit(
+                file,
+                line,
+                format!(
+                    "{what} in `{}`, reachable from the serving stack via {chain}",
+                    f.qual
+                ),
+            );
         }
     }
     (findings, waived)
 }
 
-/// Scan a body token range for potential panic sites.
-fn sites_in(file: &FileIndex, body: std::ops::Range<usize>) -> Vec<(u32, String)> {
+/// Scan a body token range for potential panic sites. With
+/// `reached_only`, restrict to the kinds audited outside the serving
+/// files: bare `.unwrap()` and the panic-family macros.
+fn sites_in(
+    file: &FileIndex,
+    body: std::ops::Range<usize>,
+    reached_only: bool,
+) -> Vec<(u32, String)> {
     let t = &file.lexed.tokens;
     let mut out = Vec::new();
     let ident = |i: usize| match t.get(i).map(|x| &x.tok) {
@@ -95,7 +151,7 @@ fn sites_in(file: &FileIndex, body: std::ops::Range<usize>) -> Vec<(u32, String)
         let line = t[i].line;
         match &t[i].tok {
             Tok::Ident(name)
-                if (name == "unwrap" || name == "expect")
+                if (name == "unwrap" || (name == "expect" && !reached_only))
                     && punct(i.wrapping_sub(1), '.')
                     && punct(i + 1, '(') =>
             {
@@ -109,12 +165,12 @@ fn sites_in(file: &FileIndex, body: std::ops::Range<usize>) -> Vec<(u32, String)
             {
                 out.push((line, format!("`{name}!` aborts the worker")));
             }
-            Tok::Punct('[') if expr_end(i.wrapping_sub(1)) => {
+            Tok::Punct('[') if !reached_only && expr_end(i.wrapping_sub(1)) => {
                 // `#[attr]` / `vec![…]` / slice patterns have non-expression
                 // predecessors and never land here.
                 out.push((line, "indexing/slicing can panic out of bounds".to_string()));
             }
-            Tok::Punct(op @ ('/' | '%')) if expr_end(i.wrapping_sub(1)) => {
+            Tok::Punct(op @ ('/' | '%')) if !reached_only && expr_end(i.wrapping_sub(1)) => {
                 // Float arithmetic can't trap; neither can a nonzero
                 // literal divisor. An `as f64`/`as f32` cast on either
                 // side also proves the division is float.
@@ -150,9 +206,17 @@ mod tests {
 
     const SCOPE: &str = "crates/core/src/pipeline/queue.rs";
 
+    fn analyze(sources: &[(&str, &str)]) -> (Vec<Finding>, Vec<Waived>) {
+        let files: Vec<FileIndex> = sources
+            .iter()
+            .map(|(rel, src)| index_file(&PathBuf::from(rel), src))
+            .collect();
+        let graph = Graph::build(&files);
+        run(&files, &graph)
+    }
+
     fn findings(rel: &str, src: &str) -> Vec<Finding> {
-        let files = vec![index_file(&PathBuf::from(rel), src)];
-        run(&files).0
+        analyze(&[(rel, src)]).0
     }
 
     #[test]
@@ -250,11 +314,71 @@ mod tests {
                 fn t() { Vec::<u32>::new().first().unwrap(); }
             }
         ";
-        let files = vec![index_file(&PathBuf::from(SCOPE), src)];
-        let (got, waived) = run(&files);
+        let (got, waived) = analyze(&[(SCOPE, src)]);
         assert!(got.is_empty(), "{got:?}");
         assert_eq!(waived.len(), 1);
         assert!(waived[0].justification.contains("lane checked non-empty"));
+    }
+
+    #[test]
+    fn reachable_bare_unwrap_fires_with_a_witness_chain() {
+        let entry = "
+            pub fn execute(job: Job) {
+                stage_one(job);
+            }
+        ";
+        let engine = "
+            pub fn stage_one(job: Job) {
+                stage_two(job);
+            }
+            pub fn stage_two(job: Job) {
+                job.payload.first().unwrap();
+            }
+            pub fn never_called(job: Job) {
+                job.payload.first().unwrap();
+            }
+        ";
+        let (got, _) = analyze(&[(SCOPE, entry), ("crates/core/src/engine.rs", engine)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.file, "crates/core/src/engine.rs");
+        assert!(f.message.contains("`stage_two`"), "{}", f.message);
+        assert!(
+            f.message.contains(
+                "reachable from the serving stack via `execute` → `stage_one` → `stage_two`"
+            ),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn reached_code_is_only_audited_for_the_hard_kinds() {
+        let entry = "pub fn execute(job: Job) { helper(job); }";
+        let engine = "
+            pub fn helper(job: Job) -> u32 {
+                let v = job.payload.first().expect(\"non-empty payload\");
+                let w = job.ring[0];
+                *v / job.denominator + w
+            }
+        ";
+        let (got, _) = analyze(&[(SCOPE, entry), ("crates/core/src/engine.rs", engine)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn reachable_sites_honor_waivers() {
+        let entry = "pub fn execute(job: Job) { helper(job); }";
+        let engine = "
+            pub fn helper(job: Job) {
+                // analyze:allow(panic-path): payload validated at enqueue time
+                job.payload.first().unwrap();
+            }
+        ";
+        let (got, waived) = analyze(&[(SCOPE, entry), ("crates/core/src/engine.rs", engine)]);
+        assert!(got.is_empty(), "{got:?}");
+        assert_eq!(waived.len(), 1);
+        assert!(waived[0].justification.contains("validated at enqueue"));
     }
 
     #[test]

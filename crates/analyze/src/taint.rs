@@ -23,15 +23,18 @@
 //! iteration feeds a sort, or only observability) with
 //! `// analyze:allow(determinism-taint): why order cannot leak`.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
+use crate::callgraph::Graph;
 use crate::items::{is_keyword, FileIndex};
 use crate::lexer::Tok;
 use crate::report::{Finding, Waived};
 use crate::waiver_on;
 
 pub const LINT: &str = "determinism-taint";
+
+pub use crate::callgraph::in_graph;
 
 /// Hash-container methods whose callback/visit order follows the
 /// container's internal (randomly seeded) order.
@@ -47,20 +50,6 @@ const ITER_METHODS: &[&str] = &[
     "drain",
     "retain",
 ];
-
-/// Files whose fns participate in the call graph. Vendored shims and
-/// tooling are excluded: `vendor/` is pinned deterministic by its own
-/// proptests and `xtask`/test trees never produce results.
-pub fn in_graph(rel: &Path) -> bool {
-    let s = rel.to_string_lossy();
-    (s.starts_with("crates/") || s.starts_with("src/"))
-        && !rel.components().any(|c| {
-            matches!(
-                c.as_os_str().to_str(),
-                Some("tests") | Some("benches") | Some("examples") | Some("fixtures")
-            )
-        })
-}
 
 /// Result-producing root scopes: the serving pipeline, the MPC
 /// runtimes, the threaded executor, and graph/spanner construction.
@@ -80,8 +69,8 @@ struct Seed {
     desc: String,
 }
 
-/// Run the pass over a pre-indexed workspace.
-pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
+/// Run the pass over a pre-indexed workspace and its call graph.
+pub fn run(files: &[FileIndex], graph: &Graph) -> (Vec<Finding>, Vec<Waived>) {
     // Union of hash-typed struct fields across the workspace: field
     // resolution is by name, matching the call graph's precision.
     let hash_fields: BTreeSet<&str> = files
@@ -90,55 +79,25 @@ pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
         .flat_map(|f| f.hash_fields.iter().map(String::as_str))
         .collect();
 
-    // Global fn table over eligible (non-test, in-graph) fns.
-    let mut fns: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        if !in_graph(&file.rel) {
-            continue;
-        }
-        for (gi, f) in file.fns.iter().enumerate() {
-            if f.is_test {
-                continue;
-            }
-            by_name.entry(&f.name).or_default().push(fns.len());
-            fns.push((fi, gi));
-        }
-    }
-
     // Multi-source BFS from the roots, keeping a parent pointer so each
     // finding can show one shortest call chain as evidence.
-    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
-    let mut reached: Vec<bool> = vec![false; fns.len()];
-    let mut queue = VecDeque::new();
-    for (id, &(fi, _)) in fns.iter().enumerate() {
-        if is_root_file(&files[fi].rel) {
-            reached[id] = true;
-            queue.push_back(id);
-        }
-    }
-    while let Some(id) = queue.pop_front() {
-        let (fi, gi) = fns[id];
-        for call in &files[fi].fns[gi].calls {
-            for &target in by_name.get(call.as_str()).map_or(&[][..], |v| v) {
-                if !reached[target] {
-                    reached[target] = true;
-                    parent[target] = Some(id);
-                    queue.push_back(target);
-                }
-            }
-        }
-    }
+    let roots = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| is_root_file(&files[n.file].rel))
+        .map(|(id, _)| id);
+    let (reached, parent) = graph.reach(roots);
 
     let mut findings = Vec::new();
     let mut waived = Vec::new();
-    for (id, &(fi, gi)) in fns.iter().enumerate() {
+    for (id, node) in graph.nodes.iter().enumerate() {
         if !reached[id] {
             continue;
         }
-        let file = &files[fi];
-        let f = &file.fns[gi];
-        for seed in seeds_in(file, gi, &hash_fields) {
+        let file = &files[node.file];
+        let f = &file.fns[node.f];
+        for seed in seeds_in(file, node.f, &hash_fields) {
             match waiver_on(&file.lexed, seed.line, LINT) {
                 Some(justification) => waived.push(Waived {
                     file: file.rel.to_string_lossy().replace('\\', "/"),
@@ -147,7 +106,7 @@ pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
                     justification,
                 }),
                 None => {
-                    let chain = chain_to(id, &parent, &fns, files);
+                    let chain = graph.chain_to(files, &parent, id);
                     let message = if parent[id].is_none() {
                         format!("{} — in result-producing code (`{}`)", seed.desc, f.qual)
                     } else {
@@ -165,28 +124,6 @@ pub fn run(files: &[FileIndex]) -> (Vec<Finding>, Vec<Waived>) {
         }
     }
     (findings, waived)
-}
-
-/// Render the BFS parent chain `root → … → id` (capped for sanity).
-fn chain_to(
-    id: usize,
-    parent: &[Option<usize>],
-    fns: &[(usize, usize)],
-    files: &[FileIndex],
-) -> String {
-    let mut quals = Vec::new();
-    let mut cur = Some(id);
-    while let Some(c) = cur {
-        let (fi, gi) = fns[c];
-        quals.push(files[fi].fns[gi].qual.clone());
-        cur = parent[c];
-        if quals.len() > 6 {
-            quals.push("…".to_string());
-            break;
-        }
-    }
-    quals.reverse();
-    format!("`{}`", quals.join("` → `"))
 }
 
 /// Every nondeterminism source site inside fn `gi` of `file`.
@@ -296,11 +233,9 @@ fn seeds_in(file: &FileIndex, gi: usize, hash_fields: &BTreeSet<&str>) -> Vec<Se
                     });
                 }
             }
-            // analyze:allow(determinism-taint): the pass's own pattern text, not a format call
             Tok::Str(s) if s.contains("{:p}") => {
                 seeds.push(Seed {
                     line,
-                    // analyze:allow(determinism-taint): the finding's description text, not a format call
                     desc: "`{:p}` formats a pointer (addresses vary under ASLR)".to_string(),
                 });
             }
@@ -469,7 +404,8 @@ mod tests {
             .iter()
             .map(|(rel, src)| index_file(&PathBuf::from(rel), src))
             .collect();
-        run(&files)
+        let graph = Graph::build(&files);
+        run(&files, &graph)
     }
 
     const ROOT: &str = "crates/core/src/pipeline/seeded.rs";

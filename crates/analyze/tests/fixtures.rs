@@ -20,6 +20,14 @@ fn analyze_at(rel: &str, name: &str) -> Report {
     analyze_sources(&[(PathBuf::from(rel), fixture(name))])
 }
 
+fn analyze_many(parts: &[(&str, &str)]) -> Report {
+    let sources: Vec<(PathBuf, String)> = parts
+        .iter()
+        .map(|(rel, name)| (PathBuf::from(rel), fixture(name)))
+        .collect();
+    analyze_sources(&sources)
+}
+
 fn lints_fired(rel: &str, name: &str) -> Vec<String> {
     analyze_at(rel, name)
         .findings
@@ -207,4 +215,140 @@ fn fully_waived_fixture_is_clean_under_the_widest_scope() {
         report.findings
     );
     assert!(report.waived.len() >= 4, "{:#?}", report.waived);
+}
+
+#[test]
+fn static_lock_order_fires_on_a_seeded_inversion() {
+    let report = analyze_at("crates/core/src/pipeline/seeded.rs", "lock_order.rs");
+    let cycles: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "static-lock-order")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:#?}", report.findings);
+    let msg = &cycles[0].message;
+    assert!(msg.contains("`fix.a` → `fix.b` → `fix.a`"), "{msg}");
+    assert!(
+        msg.contains("Pair::ab") && msg.contains("Pair::ba"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn static_lock_order_waiver_suppresses_the_cycle() {
+    let report = analyze_at("crates/core/src/pipeline/seeded.rs", "lock_order_waived.rs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(
+        report.waived.iter().any(|w| w.lint == "static-lock-order"),
+        "{:#?}",
+        report.waived
+    );
+}
+
+#[test]
+fn blocking_while_locked_fires_with_the_call_chain() {
+    let report = analyze_at(
+        "crates/core/src/pipeline/seeded.rs",
+        "blocking_while_locked.rs",
+    );
+    let blocking: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "blocking-while-locked")
+        .collect();
+    assert_eq!(blocking.len(), 1, "{:#?}", report.findings);
+    let msg = &blocking[0].message;
+    assert!(msg.contains("`fix.aux`"), "{msg}");
+    assert!(msg.contains("`Gate::settle`"), "{msg}");
+    assert!(msg.contains("`fix.ready`"), "{msg}");
+}
+
+#[test]
+fn blocking_while_locked_waiver_suppresses_it() {
+    let report = analyze_at(
+        "crates/core/src/pipeline/seeded.rs",
+        "blocking_while_locked_waived.rs",
+    );
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(
+        report
+            .waived
+            .iter()
+            .any(|w| w.lint == "blocking-while-locked"),
+        "{:#?}",
+        report.waived
+    );
+}
+
+#[test]
+fn panic_path_reaches_across_files_with_a_witness_chain() {
+    let report = analyze_many(&[
+        ("crates/core/src/pipeline/queue.rs", "panic_reach_entry.rs"),
+        ("crates/graph/src/seeded_helper.rs", "panic_reach_helper.rs"),
+    ]);
+    let sites: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "panic-path")
+        .collect();
+    assert_eq!(sites.len(), 1, "{:#?}", report.findings);
+    let msg = &sites[0].message;
+    assert!(msg.contains("reachable from the serving stack"), "{msg}");
+    assert!(msg.contains("`execute` → `helper_step`"), "{msg}");
+    assert_eq!(sites[0].file, "crates/graph/src/seeded_helper.rs");
+}
+
+#[test]
+fn unreached_helper_stays_clean() {
+    // The same helper without the serving-stack entry: nothing reaches
+    // it, so the bare unwrap is out of scope.
+    let report = analyze_at("crates/graph/src/seeded_helper.rs", "panic_reach_helper.rs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn reachable_panic_waiver_suppresses_it() {
+    let report = analyze_many(&[
+        ("crates/core/src/pipeline/queue.rs", "panic_reach_entry.rs"),
+        (
+            "crates/graph/src/seeded_helper.rs",
+            "panic_reach_helper_waived.rs",
+        ),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(
+        report.waived.iter().any(|w| w.lint == "panic-path"),
+        "{:#?}",
+        report.waived
+    );
+}
+
+#[test]
+fn unused_waiver_fires_on_a_stale_marker() {
+    let report = analyze_at("crates/core/src/pipeline/seeded.rs", "unused_waiver.rs");
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "unused-waiver")
+        .collect();
+    assert_eq!(stale.len(), 1, "{:#?}", report.findings);
+    assert!(
+        stale[0].message.contains("no longer suppresses"),
+        "{}",
+        stale[0].message
+    );
+}
+
+#[test]
+fn meta_waiver_keeps_a_stale_marker() {
+    let report = analyze_at(
+        "crates/core/src/pipeline/seeded.rs",
+        "unused_waiver_waived.rs",
+    );
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(
+        report.waived.iter().any(|w| w.lint == "unused-waiver"),
+        "{:#?}",
+        report.waived
+    );
 }

@@ -724,48 +724,53 @@ impl SpannerService {
     /// content" path deterministically.
     pub fn register_keyed(&self, key: u64, graph: impl Into<Arc<Graph>>) -> GraphHandle {
         let graph = graph.into();
-        let mut registry = self.registry.lock();
-        match registry.get(&key) {
-            Some(existing)
+        // The content comparison is O(V + E); running it under the
+        // registry lock would stall every other registration (and
+        // lookup) behind one large graph. Snapshot the entry, compare
+        // unlocked, then re-check the entry is unchanged before
+        // inserting — a racing registration for the same key restarts
+        // the comparison rather than aliasing a different graph.
+        loop {
+            let prior = self.registry.lock().get(&key).cloned();
+            if let Some(existing) = &prior {
                 if Arc::ptr_eq(&existing.inner.graph, &graph)
-                    || same_content(&existing.inner.graph, &graph) =>
-            {
-                existing.clone()
+                    || same_content(&existing.inner.graph, &graph)
+                {
+                    return existing.clone();
+                }
             }
-            Some(existing) => {
-                // Same key, different content: a mutated graph (or a
-                // genuine fingerprint collision). Never alias — bump
-                // the version and drop every artifact derived from the
-                // old one.
-                let version = existing.inner.version + 1;
-                let handle = GraphHandle {
-                    inner: Arc::new(RegisteredGraph {
-                        graph,
-                        key,
-                        version,
-                    }),
+            // Same key, different content: a mutated graph (or a
+            // genuine fingerprint collision). Never alias — bump the
+            // version and drop every artifact derived from the old one.
+            let version = prior.as_ref().map_or(1, |e| e.inner.version + 1);
+            let handle = GraphHandle {
+                inner: Arc::new(RegisteredGraph {
+                    graph: graph.clone(),
+                    key,
+                    version,
+                }),
+            };
+            {
+                let mut registry = self.registry.lock();
+                let unchanged = match (&prior, registry.get(&key)) {
+                    (None, None) => true,
+                    (Some(p), Some(c)) => Arc::ptr_eq(&p.inner, &c.inner),
+                    _ => false,
                 };
+                if !unchanged {
+                    continue;
+                }
                 registry.insert(key, handle.clone());
-                drop(registry);
+            }
+            if version > 1 {
                 let purged = self
                     .store
                     .purge(|k| !(k.graph == key && k.version < version));
                 self.counters
                     .invalidations
                     .fetch_add(purged as u64, Ordering::Relaxed);
-                handle
             }
-            None => {
-                let handle = GraphHandle {
-                    inner: Arc::new(RegisteredGraph {
-                        graph,
-                        key,
-                        version: 1,
-                    }),
-                };
-                registry.insert(key, handle.clone());
-                handle
-            }
+            return handle;
         }
     }
 

@@ -291,7 +291,6 @@ impl<T> TrackedMutex<T> {
         on_acquired(self.name, self.id, contended);
         MutexGuard {
             lock: self,
-            // analyze:allow(determinism-taint): lock-audit held-time metrics — observability only
             start: Instant::now(),
             inner: Some(inner),
         }
@@ -581,7 +580,6 @@ impl<T> TrackedRwLock<T> {
         RwLockWriteGuard {
             name: self.name,
             id: self.id,
-            // analyze:allow(determinism-taint): lock-audit held-time metrics — observability only
             start: Instant::now(),
             inner: Some(inner),
         }

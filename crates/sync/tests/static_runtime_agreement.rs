@@ -1,0 +1,130 @@
+//! The two lock-discipline detectors must agree on the canonical
+//! seeded inversion: the *static* `static-lock-order` pass (workspace
+//! call-graph analysis in `spanner-analyze`) and the *runtime*
+//! `lock-audit` cycle detector in this crate. The static half reports
+//! the `ab`/`ba` pair as an order cycle from source text alone; the
+//! runtime half panics when the second order is attempted live. Both
+//! halves see the same two-fn shape, so a behavior drift in either
+//! detector breaks this pin.
+//!
+//! The runtime half needs the `lock-audit` feature (the passthrough
+//! wrappers deliberately check nothing); the static half runs always.
+
+/// The seeded inversion, as the static pass sees it. The runtime half
+/// below is a line-for-line transcription of `ab` and `ba`.
+const SEEDED_INVERSION: &str = r#"
+    pub struct Pair {
+        a: TrackedMutex<u32>,
+        b: TrackedMutex<u32>,
+    }
+
+    impl Pair {
+        pub fn new() -> Self {
+            Pair {
+                a: TrackedMutex::new("agree.a", 0),
+                b: TrackedMutex::new("agree.b", 0),
+            }
+        }
+
+        pub fn ab(&self) {
+            let ga = self.a.lock();
+            let gb = self.b.lock();
+            drop((ga, gb));
+        }
+
+        pub fn ba(&self) {
+            let gb = self.b.lock();
+            let ga = self.a.lock();
+            drop((ga, gb));
+        }
+    }
+"#;
+
+#[test]
+fn static_pass_reports_the_seeded_inversion_as_a_cycle() {
+    let report = spanner_analyze::analyze_sources(&[(
+        std::path::PathBuf::from("crates/core/src/pipeline/seeded.rs"),
+        SEEDED_INVERSION.to_string(),
+    )]);
+    let cycles: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "static-lock-order")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:#?}", report.findings);
+    let msg = &cycles[0].message;
+    assert!(msg.contains("`agree.a` → `agree.b` → `agree.a`"), "{msg}");
+    assert!(
+        msg.contains("Pair::ab") && msg.contains("Pair::ba"),
+        "{msg}"
+    );
+}
+
+#[cfg(feature = "lock-audit")]
+#[test]
+fn runtime_audit_panics_on_the_same_inversion() {
+    use spanner_sync::TrackedMutex;
+
+    let a = TrackedMutex::new("agree.a", 0u32);
+    let b = TrackedMutex::new("agree.b", 0u32);
+
+    // `Pair::ab`: records the order agree.a → agree.b.
+    {
+        let ga = a.lock();
+        let gb = b.lock();
+        drop((ga, gb));
+    }
+
+    // `Pair::ba`: acquiring agree.a while holding agree.b closes the
+    // cycle — the audit must refuse with its potential-deadlock panic.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let gb = b.lock();
+        let ga = a.lock();
+        drop((ga, gb));
+    }));
+    let err = result.expect_err("runtime audit missed the seeded inversion");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn both_detectors_accept_a_consistent_order() {
+    // Static: the same struct with both fns taking a before b.
+    let consistent = SEEDED_INVERSION.replace(
+        "pub fn ba(&self) {
+            let gb = self.b.lock();
+            let ga = self.a.lock();
+            drop((ga, gb));
+        }",
+        "pub fn ba(&self) {
+            let ga = self.a.lock();
+            let gb = self.b.lock();
+            drop((ga, gb));
+        }",
+    );
+    assert_ne!(consistent, SEEDED_INVERSION, "replacement must apply");
+    let report = spanner_analyze::analyze_sources(&[(
+        std::path::PathBuf::from("crates/core/src/pipeline/seeded.rs"),
+        consistent,
+    )]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+
+    // Runtime: repeating the same order is fine under the audit. Class
+    // names are fresh — the audit registry is process-global and the
+    // inversion test above deliberately poisons `agree.*`.
+    #[cfg(feature = "lock-audit")]
+    {
+        use spanner_sync::TrackedMutex;
+        let a = TrackedMutex::new("agree2.a", 0u32);
+        let b = TrackedMutex::new("agree2.b", 0u32);
+        for _ in 0..2 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop((ga, gb));
+        }
+    }
+}

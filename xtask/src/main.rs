@@ -3,10 +3,19 @@
 //! ```text
 //! cargo xtask analyze [--format text|json] [--baseline <path> | --no-baseline]
 //!                     [--write-baseline] [--root <path>]
+//!                     [--only <lint,…>] [--files <glob>]
+//!                     [--callgraph-json <path|->]
 //! ```
 //!
 //! the static-analysis pass over the workspace (see the
 //! `spanner-analyze` crate for the lint list and waiver syntax).
+//!
+//! `--only` and `--files` narrow the *reported* view — the analysis
+//! itself always covers the whole workspace, so interprocedural passes
+//! keep their call chains and waiver hygiene still judges the full
+//! ledger. `--callgraph-json` dumps the workspace call graph (the
+//! structure the interprocedural passes run on) to a file, or to
+//! stdout with `-`.
 //!
 //! Exit codes form a contract CI and scripts rely on:
 //!
@@ -41,9 +50,15 @@ fn usage() -> ExitCode {
         "usage: cargo xtask analyze [--format text|json] [--baseline <path> | --no-baseline]"
     );
     eprintln!("                           [--write-baseline] [--root <path>]");
+    eprintln!("                           [--only <lint,...>] [--files <glob>]");
+    eprintln!("                           [--callgraph-json <path|->]");
     eprintln!();
-    eprintln!("Static analysis over the workspace: determinism-taint, panic-path,");
-    eprintln!("raw-sync, stray-spawn, wall-clock, unsafe-comment.");
+    eprintln!("Static analysis over the workspace: blocking-while-locked,");
+    eprintln!("determinism-taint, panic-path, raw-sync, static-lock-order,");
+    eprintln!("stray-spawn, unsafe-comment, unused-waiver, wall-clock.");
+    eprintln!();
+    eprintln!("--only / --files filter the report, not the analysis; repeatable.");
+    eprintln!("--callgraph-json writes the workspace call graph (`-` = stdout).");
     eprintln!();
     eprintln!("exit codes: 0 clean · 1 new findings · 2 unreadable files skipped");
     ExitCode::FAILURE
@@ -60,6 +75,8 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut use_baseline = true;
     let mut write_baseline = false;
+    let mut opts = spanner_analyze::Options::default();
+    let mut callgraph_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
@@ -80,6 +97,23 @@ fn main() -> ExitCode {
             },
             "--no-baseline" => use_baseline = false,
             "--write-baseline" => write_baseline = true,
+            "--only" => match args.next() {
+                Some(lints) => {
+                    let set = opts.only.get_or_insert_with(BTreeSet::new);
+                    for lint in lints.split(',').map(str::trim).filter(|l| !l.is_empty()) {
+                        set.insert(lint.to_string());
+                    }
+                }
+                None => return usage(),
+            },
+            "--files" => match args.next() {
+                Some(glob) => opts.files.get_or_insert_with(Vec::new).push(glob),
+                None => return usage(),
+            },
+            "--callgraph-json" => match args.next() {
+                Some(p) => callgraph_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => {
                 eprintln!("unknown argument: {arg}");
                 return usage();
@@ -97,7 +131,17 @@ fn main() -> ExitCode {
         BTreeSet::new()
     };
 
-    let report = spanner_analyze::run(&root);
+    if let Some(out) = &callgraph_out {
+        let json = spanner_analyze::callgraph_json(&root);
+        if out.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = spanner_analyze::run_with(&root, &opts);
 
     if write_baseline {
         let mut s = String::from("{\"version\": 1, \"findings\": [");
